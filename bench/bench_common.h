@@ -1,0 +1,65 @@
+// Shared plumbing for the figure-reproduction binaries: flag parsing with
+// uniform defaults and workbench construction.
+//
+// Every binary accepts:
+//   --seed N        master seed (default 42)
+//   --locations N   locations per dataset (default 250; paper uses 1000)
+//   --full          paper-scale sample sizes (slower)
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "eval/datasets.h"
+#include "eval/table.h"
+
+namespace poiprivacy::bench {
+
+struct BenchOptions {
+  std::uint64_t seed = 42;
+  std::size_t locations = 250;
+  bool full = false;
+  common::Flags flags;
+
+  BenchOptions(int argc, const char* const* argv,
+               std::vector<std::string> extra_flags = {})
+      : flags(argc, argv, [&extra_flags] {
+          std::vector<std::string> known{"seed", "locations", "full"};
+          known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+          return known;
+        }()) {
+    seed = static_cast<std::uint64_t>(
+        flags.get("seed", static_cast<std::int64_t>(42)));
+    full = flags.get("full", false);
+    locations = static_cast<std::size_t>(flags.get(
+        "locations", static_cast<std::int64_t>(full ? 1000 : 250)));
+  }
+
+  eval::WorkbenchConfig workbench_config() const {
+    eval::WorkbenchConfig config;
+    config.seed = seed;
+    config.locations_per_dataset = locations;
+    if (full) {
+      config.num_taxis = 400;
+      config.points_per_taxi = 80;
+      config.num_checkin_users = 400;
+      config.checkins_per_user = 60;
+    }
+    return config;
+  }
+
+  void print_context(const std::string& what) const {
+    std::cout << what << "\n";
+    std::cout << "   seed=" << seed << " locations=" << locations
+              << (full ? " (paper-scale --full run)" : " (reduced default run)")
+              << "\n";
+  }
+};
+
+inline const double kQueryRangesKm[] = {0.5, 1.0, 2.0, 4.0};
+
+}  // namespace poiprivacy::bench

@@ -1,0 +1,152 @@
+// Micro-benchmarks of the core operations (google-benchmark): the GSP
+// query interface, the attacks, and the defense pipeline, plus the grid
+// resolution sweep for the feasible-area estimator called out in
+// DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "attack/fine_grained.h"
+#include "spatial/rtree.h"
+#include "attack/region_reid.h"
+#include "cloak/kcloak.h"
+#include "defense/opt_defense.h"
+#include "geo/geometry.h"
+#include "opt/distortion.h"
+#include "poi/city_model.h"
+
+namespace {
+
+using namespace poiprivacy;
+
+const poi::City& beijing() {
+  static const poi::City city = poi::generate_city(poi::beijing_preset(), 42);
+  return city;
+}
+
+geo::Point location_for(std::int64_t i) {
+  // Deterministic pseudo-random walk over the city interior.
+  const double x = 5.0 + std::fmod(static_cast<double>(i) * 7.31, 30.0);
+  const double y = 5.0 + std::fmod(static_cast<double>(i) * 3.77, 30.0);
+  return {x, y};
+}
+
+void BM_QueryDisk(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  const double r = static_cast<double>(state.range(0)) / 10.0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.query(location_for(++i), r));
+  }
+  state.SetLabel("r_km=" + std::to_string(r));
+}
+BENCHMARK(BM_QueryDisk)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_Freq(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  const double r = static_cast<double>(state.range(0)) / 10.0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.freq(location_for(++i), r));
+  }
+  state.SetLabel("r_km=" + std::to_string(r));
+}
+BENCHMARK(BM_Freq)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_RegionReidentification(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  const attack::RegionReidentifier reid(db);
+  const double r = static_cast<double>(state.range(0)) / 10.0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const poi::FrequencyVector f = db.freq(location_for(++i), r);
+    benchmark::DoNotOptimize(reid.infer(f, r));
+  }
+  state.SetLabel("r_km=" + std::to_string(r));
+}
+BENCHMARK(BM_RegionReidentification)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_FineGrainedAttack(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  attack::FineGrainedConfig config;
+  config.area_resolution = static_cast<int>(state.range(0));
+  const attack::FineGrainedAttack fine(db, config);
+  const double r = 2.0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const poi::FrequencyVector f = db.freq(location_for(++i), r);
+    benchmark::DoNotOptimize(fine.infer(f, r));
+  }
+  state.SetLabel("area_resolution=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FineGrainedAttack)->Arg(64)->Arg(192)->Arg(384);
+
+void BM_RTreeQueryDisk(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  std::vector<geo::Point> positions;
+  for (const poi::Poi& p : db.pois()) positions.push_back(p.pos);
+  static const spatial::RTree tree(positions, 16);
+  const double r = static_cast<double>(state.range(0)) / 10.0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.query_disk(location_for(++i), r));
+  }
+  state.SetLabel("r_km=" + std::to_string(r) + " (vs BM_QueryDisk: grid)");
+}
+BENCHMARK(BM_RTreeQueryDisk)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_OptimizeRelease(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  opt::DistortionProblem problem;
+  const poi::FrequencyVector f = db.freq({20.0, 20.0}, 2.0);
+  problem.base.assign(f.begin(), f.end());
+  problem.rank = db.infrequency_rank();
+  problem.beta = 0.03;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::optimize_release(problem));
+  }
+}
+BENCHMARK(BM_OptimizeRelease);
+
+void BM_DpDefenseRelease(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  common::Rng pop_rng(7);
+  static const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(db.bounds(), 10000, pop_rng), db.bounds());
+  defense::DpDefenseConfig config;
+  config.epsilon = 1.0;
+  const defense::DpDefense defense(db, cloaker, config);
+  common::Rng rng(11);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense.release(location_for(++i), 2.0, rng));
+  }
+}
+BENCHMARK(BM_DpDefenseRelease);
+
+void BM_KCloak(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  common::Rng pop_rng(7);
+  static const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(db.bounds(), 10000, pop_rng), db.bounds());
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cloaker.cloak(location_for(++i), k));
+  }
+}
+BENCHMARK(BM_KCloak)->Arg(2)->Arg(20)->Arg(50);
+
+void BM_DisksIntersectionArea(benchmark::State& state) {
+  std::vector<geo::Circle> disks;
+  for (int i = 0; i < 20; ++i) {
+    disks.push_back({{0.1 * i, 0.05 * i}, 2.0});
+  }
+  const int resolution = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::disks_intersection_area(disks, resolution));
+  }
+}
+BENCHMARK(BM_DisksIntersectionArea)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

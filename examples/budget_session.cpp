@@ -1,0 +1,58 @@
+// Budget-managed release session: a user keeps querying through the DP
+// defense while a privacy accountant tracks composed (eps, delta); the
+// session refuses to release once the ceiling would be crossed.
+//
+//   ./examples/budget_session [--seed N] [--eps E] [--ceiling C]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "defense/session.h"
+#include "poi/city_model.h"
+#include "traj/generators.h"
+
+using namespace poiprivacy;
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv, {"seed", "eps", "ceiling"});
+  const auto seed = static_cast<std::uint64_t>(
+      flags.get("seed", static_cast<std::int64_t>(42)));
+  const poi::City city = poi::generate_city(poi::beijing_preset(), seed);
+  common::Rng pop_rng(seed + 1);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(city.db.bounds(), 10000, pop_rng),
+      city.db.bounds());
+
+  defense::SessionConfig config;
+  config.release.epsilon = flags.get("eps", 0.5);
+  config.release.delta = 0.01;
+  config.epsilon_ceiling = flags.get("ceiling", 4.0);
+  defense::ReleaseSession session(city.db, cloaker, config);
+
+  // A taxi ride across town, querying every few minutes.
+  common::Rng rng(seed + 2);
+  traj::TaxiConfig taxi_config;
+  taxi_config.num_taxis = 1;
+  taxi_config.points_per_taxi = 25;
+  const auto rides = traj::generate_taxi_trajectories(city, taxi_config, rng);
+
+  std::cout << "per release: eps=" << config.release.epsilon
+            << " delta=" << config.release.delta
+            << "; session ceiling eps=" << config.epsilon_ceiling << "\n\n";
+  for (const traj::TrackPoint& fix : rides.front().points) {
+    const auto released = session.release(fix.pos, 1.0, rng);
+    const dp::PrivacyParams spent = session.spent();
+    std::cout << "t+" << fix.time % (24 * 3600) / 60 << "min  ";
+    if (released) {
+      std::cout << "released " << poi::total(*released)
+                << " counts; spent eps=" << common::fmt(spent.epsilon, 2)
+                << " delta=" << common::fmt(spent.delta, 3) << "\n";
+    } else {
+      std::cout << "REFUSED — privacy budget exhausted after "
+                << session.releases() << " releases (eps="
+                << common::fmt(spent.epsilon, 2) << ")\n";
+      break;
+    }
+  }
+  return 0;
+}

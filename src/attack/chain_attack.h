@@ -1,0 +1,64 @@
+// Multi-release chain attack — generalizes the paper's two-release
+// trajectory-uniqueness attack (Section IV-B) to an arbitrary number of
+// successive releases.
+//
+// Each release yields a candidate set via the baseline attack. The chain
+// attack builds a layered graph whose layer t holds release t's
+// candidates, with an edge between consecutive candidates when their
+// geographic distance is consistent with the SVR-estimated travel
+// distance for that step. A candidate in layer 0 survives iff some path
+// through all layers starts at it; the attack succeeds when exactly one
+// layer-0 candidate survives. Longer chains add constraints, so success
+// is monotone in chain length in expectation — the natural "trajectory
+// uniqueness" sweep the paper leaves as future work.
+#pragma once
+
+#include <span>
+
+#include "attack/trajectory_attack.h"
+
+namespace poiprivacy::attack {
+
+/// One timestamped release of a POI aggregate.
+struct TimedRelease {
+  poi::FrequencyVector freq;
+  traj::TimeSec time = 0;
+};
+
+struct ChainInferenceResult {
+  /// Candidate sets per release (baseline attack output).
+  std::vector<std::vector<poi::PoiId>> layers;
+  /// Layer-0 candidates with at least one consistent path through every
+  /// subsequent layer.
+  std::vector<poi::PoiId> surviving_first_candidates;
+  /// Estimated step distances (layers.size() - 1 entries).
+  std::vector<double> estimated_step_km;
+
+  bool unique() const noexcept {
+    return surviving_first_candidates.size() == 1;
+  }
+};
+
+class ChainAttack {
+ public:
+  /// Reuses the two-release attack's trained distance regressor.
+  ChainAttack(const poi::PoiDatabase& db, const TrajectoryAttack& pairwise,
+              double r)
+      : db_(&db), pairwise_(&pairwise), reid_(db), r_(r) {}
+
+  /// Runs the attack over n >= 1 successive releases.
+  ChainInferenceResult infer(std::span<const TimedRelease> releases) const;
+
+  /// Success criterion: a unique surviving first candidate within r of
+  /// the true first location.
+  bool success(const ChainInferenceResult& result,
+               geo::Point first_truth) const noexcept;
+
+ private:
+  const poi::PoiDatabase* db_;
+  const TrajectoryAttack* pairwise_;
+  RegionReidentifier reid_;
+  double r_;
+};
+
+}  // namespace poiprivacy::attack

@@ -1,0 +1,154 @@
+#include "attack/fine_grained.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace poiprivacy::attack {
+
+namespace {
+
+/// Incrementally-refined feasible region: a boolean mask over a regular
+/// grid covering the major anchor's disk. Adding an anchor disk keeps only
+/// the grid cells inside it; an addition that would empty the mask is
+/// rejected (the user must be somewhere, so an anchor inconsistent with
+/// all prior evidence is treated as a false positive and skipped — a
+/// robustness refinement over the paper's Algorithm 1, see DESIGN.md).
+class FeasibleRegion {
+ public:
+  FeasibleRegion(const geo::Circle& base, int resolution)
+      : resolution_(resolution) {
+    const geo::BBox box = base.bbox();
+    origin_ = {box.min_x, box.min_y};
+    cell_x_ = box.width() / resolution;
+    cell_y_ = box.height() / resolution;
+    mask_.resize(static_cast<std::size_t>(resolution) *
+                 static_cast<std::size_t>(resolution));
+    alive_ = 0;
+    for (int iy = 0; iy < resolution; ++iy) {
+      for (int ix = 0; ix < resolution; ++ix) {
+        const bool inside = base.contains(cell_center(ix, iy));
+        mask_[index(ix, iy)] = inside;
+        alive_ += inside;
+      }
+    }
+  }
+
+  /// Tries to intersect with `disk`; returns false (and leaves the region
+  /// unchanged) if the result would be empty.
+  bool try_intersect(const geo::Circle& disk) {
+    std::size_t survivors = 0;
+    for (int iy = 0; iy < resolution_; ++iy) {
+      for (int ix = 0; ix < resolution_; ++ix) {
+        if (mask_[index(ix, iy)] && disk.contains(cell_center(ix, iy))) {
+          ++survivors;
+        }
+      }
+    }
+    if (survivors == 0) return false;
+    for (int iy = 0; iy < resolution_; ++iy) {
+      for (int ix = 0; ix < resolution_; ++ix) {
+        auto cell = mask_[index(ix, iy)];
+        if (cell && !disk.contains(cell_center(ix, iy))) {
+          mask_[index(ix, iy)] = false;
+        }
+      }
+    }
+    alive_ = survivors;
+    return true;
+  }
+
+  double area() const { return static_cast<double>(alive_) * cell_x_ * cell_y_; }
+
+ private:
+  geo::Point cell_center(int ix, int iy) const {
+    return {origin_.x + (ix + 0.5) * cell_x_, origin_.y + (iy + 0.5) * cell_y_};
+  }
+  std::size_t index(int ix, int iy) const {
+    return static_cast<std::size_t>(iy) * resolution_ + ix;
+  }
+
+  int resolution_;
+  geo::Point origin_;
+  double cell_x_ = 0.0;
+  double cell_y_ = 0.0;
+  std::vector<char> mask_;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace
+
+FineGrainedResult FineGrainedAttack::infer(
+    const poi::FrequencyVector& released, double r) const {
+  FineGrainedResult result;
+  const ReidResult baseline = reid_.infer(released, r);
+  if (!baseline.unique()) return result;
+
+  result.baseline_unique = true;
+  result.major_anchor = baseline.candidates.front();
+  const geo::Point anchor_pos = db_->poi(result.major_anchor).pos;
+  result.feasible_disks.push_back({anchor_pos, r});
+
+  const std::vector<poi::PoiId> around = db_->query(anchor_pos, 2.0 * r);
+  const poi::FrequencyVector f_anchor = db_->freq(anchor_pos, 2.0 * r);
+  const poi::FrequencyVector f_diff = poi::diff(f_anchor, released);
+
+  // Bucket the anchor's neighbourhood by type once.
+  std::vector<std::vector<poi::PoiId>> by_type(db_->num_types());
+  for (const poi::PoiId id : around) {
+    if (id != result.major_anchor) by_type[db_->poi(id).type].push_back(id);
+  }
+
+  // Visit types in ascending F_diff order (cheapest, most reliable
+  // evidence first: F_diff == 0 anchors are provably within r of l).
+  std::vector<poi::TypeId> order;
+  order.reserve(db_->num_types());
+  for (poi::TypeId t = 0; t < db_->num_types(); ++t) {
+    // Only types actually present in the released vector carry the
+    // guarantee that their nearby POIs could anchor l.
+    if (released[t] > 0 && !by_type[t].empty()) order.push_back(t);
+  }
+  if (config_.sort_by_diff) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&f_diff](poi::TypeId a, poi::TypeId b) {
+                       return f_diff[a] < f_diff[b];
+                     });
+  }
+
+  FeasibleRegion region({anchor_pos, r}, config_.area_resolution);
+  const auto consider = [&](poi::PoiId id) {
+    if (result.aux_anchors.size() >= config_.max_aux) return;
+    const geo::Circle disk{db_->poi(id).pos, r};
+    if (region.try_intersect(disk)) {
+      result.aux_anchors.push_back(id);
+      result.feasible_disks.push_back(disk);
+    } else {
+      ++result.rejected_anchors;
+    }
+  };
+
+  for (const poi::TypeId t : order) {
+    if (result.aux_anchors.size() >= config_.max_aux) break;
+    if (f_diff[t] == 0) {
+      // Exact rule: counts match, so every type-t POI near the anchor is
+      // provably inside P(l, r).
+      for (const poi::PoiId id : by_type[t]) consider(id);
+    } else {
+      // Pruned rule: keep p only if F(p, 2r) dominates the release — the
+      // same no-false-negative covering test as the baseline (false
+      // positives possible; the region consistency check above rejects
+      // the contradictory ones, and high-F_diff types are skipped as too
+      // risky).
+      if (f_diff[t] > config_.max_pruned_diff) continue;
+      for (const poi::PoiId id : by_type[t]) {
+        if (result.aux_anchors.size() >= config_.max_aux) break;
+        const poi::FrequencyVector f_p = db_->freq(db_->poi(id).pos, 2.0 * r);
+        if (poi::dominates(f_p, released)) consider(id);
+      }
+    }
+  }
+
+  result.area_km2 = region.area();
+  return result;
+}
+
+}  // namespace poiprivacy::attack

@@ -1,0 +1,74 @@
+#include "attack/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace poiprivacy::attack {
+
+FingerprintAttack::FingerprintAttack(const poi::PoiDatabase& db, double r,
+                                     FingerprintConfig config)
+    : db_(&db), r_(r), config_(config) {
+  const geo::BBox& bounds = db.bounds();
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds.width() /
+                                               config_.cell_km)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds.height() /
+                                               config_.cell_km)));
+  const double envelope_radius =
+      r + config_.cell_km * std::numbers::sqrt2 / 2.0;
+  envelopes_.reserve(static_cast<std::size_t>(nx_) * ny_);
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      const geo::Point center{bounds.min_x + (ix + 0.5) * config_.cell_km,
+                              bounds.min_y + (iy + 0.5) * config_.cell_km};
+      envelopes_.push_back(db.freq(center, envelope_radius));
+    }
+  }
+}
+
+geo::Point FingerprintAttack::cell_center(std::uint32_t cell) const {
+  const geo::BBox& bounds = db_->bounds();
+  const int ix = static_cast<int>(cell) % nx_;
+  const int iy = static_cast<int>(cell) / nx_;
+  return {bounds.min_x + (ix + 0.5) * config_.cell_km,
+          bounds.min_y + (iy + 0.5) * config_.cell_km};
+}
+
+FingerprintResult FingerprintAttack::infer(
+    const poi::FrequencyVector& released) const {
+  FingerprintResult result;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::uint32_t cell = 0; cell < envelopes_.size(); ++cell) {
+    if (poi::dominates(envelopes_[cell], released)) {
+      result.feasible_cells.push_back(cell);
+      const geo::Point c = cell_center(cell);
+      sum_x += c.x;
+      sum_y += c.y;
+    }
+  }
+  const double cell_area = config_.cell_km * config_.cell_km;
+  result.feasible_area_km2 =
+      static_cast<double>(result.feasible_cells.size()) * cell_area;
+  if (!result.feasible_cells.empty()) {
+    const auto n = static_cast<double>(result.feasible_cells.size());
+    result.centroid = {sum_x / n, sum_y / n};
+  }
+  return result;
+}
+
+bool FingerprintAttack::covers(const FingerprintResult& result,
+                               geo::Point location) const {
+  const geo::BBox& bounds = db_->bounds();
+  const int ix = std::clamp(
+      static_cast<int>((location.x - bounds.min_x) / config_.cell_km), 0,
+      nx_ - 1);
+  const int iy = std::clamp(
+      static_cast<int>((location.y - bounds.min_y) / config_.cell_km), 0,
+      ny_ - 1);
+  const auto cell = static_cast<std::uint32_t>(iy * nx_ + ix);
+  return std::binary_search(result.feasible_cells.begin(),
+                            result.feasible_cells.end(), cell);
+}
+
+}  // namespace poiprivacy::attack

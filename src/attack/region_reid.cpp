@@ -1,0 +1,42 @@
+#include "attack/region_reid.h"
+
+namespace poiprivacy::attack {
+
+std::optional<poi::TypeId> RegionReidentifier::pivot_type(
+    const poi::FrequencyVector& released) const {
+  const poi::FrequencyVector& city = db_->city_freq();
+  std::optional<poi::TypeId> best;
+  for (poi::TypeId t = 0; t < released.size(); ++t) {
+    if (released[t] <= 0) continue;
+    if (!best || city[t] < city[*best] ||
+        (city[t] == city[*best] && t < *best)) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
+                                     double r) const {
+  ReidResult result;
+  result.pivot_type = pivot_type(released);
+  if (!result.pivot_type) return result;
+
+  for (const poi::PoiId candidate : db_->pois_of_type(*result.pivot_type)) {
+    const poi::FrequencyVector around =
+        db_->freq(db_->poi(candidate).pos, 2.0 * r);
+    if (poi::dominates(around, released)) {
+      result.candidates.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+bool attack_success(const ReidResult& result, const poi::PoiDatabase& db,
+                    geo::Point true_location, double r) noexcept {
+  if (!result.unique()) return false;
+  const geo::Point anchor = db.poi(result.candidates.front()).pos;
+  return geo::distance(anchor, true_location) <= r + 1e-9;
+}
+
+}  // namespace poiprivacy::attack

@@ -1,0 +1,53 @@
+// Region re-identification — the baseline attack of Cao et al. (IMWUT'18)
+// as reviewed in Section II-D of the paper.
+//
+// Given a released type frequency vector F(l, r), the attacker:
+//   1. takes the citywide-rarest type t present in the vector,
+//   2. collects every POI of type t as a candidate anchor,
+//   3. prunes candidates p whose F(p, 2r) fails to dominate F(l, r)
+//      componentwise (if p is within r of l, disk(l, r) is contained in
+//      disk(p, 2r), so domination is necessary — the attack has no false
+//      negatives),
+//   4. declares success iff exactly one candidate survives; the user then
+//      lies somewhere in disk(p*, r), an area of pi r^2.
+#pragma once
+
+#include <optional>
+
+#include "poi/database.h"
+
+namespace poiprivacy::attack {
+
+struct ReidResult {
+  /// Candidate anchors surviving the pruning step (Phi in the paper).
+  std::vector<poi::PoiId> candidates;
+  /// The pivot (most infrequent present) type, if the vector was nonempty.
+  std::optional<poi::TypeId> pivot_type;
+
+  bool unique() const noexcept { return candidates.size() == 1; }
+};
+
+class RegionReidentifier {
+ public:
+  explicit RegionReidentifier(const poi::PoiDatabase& db) : db_(&db) {}
+
+  /// Runs the attack on a released vector for query radius `r` km.
+  ReidResult infer(const poi::FrequencyVector& released, double r) const;
+
+  /// Citywide-rarest type with a positive entry, if any.
+  std::optional<poi::TypeId> pivot_type(
+      const poi::FrequencyVector& released) const;
+
+  const poi::PoiDatabase& db() const noexcept { return *db_; }
+
+ private:
+  const poi::PoiDatabase* db_;
+};
+
+/// The paper's success criterion, evaluated against ground truth: the
+/// attack produced exactly one candidate and the true location indeed
+/// lies within r of it.
+bool attack_success(const ReidResult& result, const poi::PoiDatabase& db,
+                    geo::Point true_location, double r) noexcept;
+
+}  // namespace poiprivacy::attack

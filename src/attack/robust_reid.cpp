@@ -1,0 +1,94 @@
+#include "attack/robust_reid.h"
+
+#include <algorithm>
+
+namespace poiprivacy::attack {
+
+bool dominates_tolerant(const poi::FrequencyVector& a,
+                        const poi::FrequencyVector& b, int max_violations,
+                        std::int32_t max_deficit) noexcept {
+  int violations = 0;
+  std::int32_t deficit = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      ++violations;
+      deficit += b[i] - a[i];
+      if (violations > max_violations || deficit > max_deficit) return false;
+    }
+  }
+  return true;
+}
+
+RobustReidResult RobustReidentifier::infer(
+    const poi::FrequencyVector& released, double r) const {
+  RobustReidResult result;
+  const poi::FrequencyVector& city = db_->city_freq();
+
+  // The `num_pivots` rarest present types.
+  std::vector<poi::TypeId> pivots;
+  for (poi::TypeId t = 0; t < released.size(); ++t) {
+    if (released[t] > 0) pivots.push_back(t);
+  }
+  std::sort(pivots.begin(), pivots.end(),
+            [&city](poi::TypeId a, poi::TypeId b) {
+              if (city[a] != city[b]) return city[a] < city[b];
+              return a < b;
+            });
+  if (pivots.size() > config_.num_pivots) pivots.resize(config_.num_pivots);
+
+  // Gather candidates per pivot with the tolerant test; a candidate set
+  // that explodes carries no information, so bound it.
+  constexpr std::size_t kMaxCandidatesPerPivot = 64;
+  std::vector<geo::Point> votes;
+  for (const poi::TypeId pivot : pivots) {
+    std::vector<geo::Point> candidates;
+    for (const poi::PoiId id : db_->pois_of_type(pivot)) {
+      const poi::FrequencyVector around =
+          db_->freq(db_->poi(id).pos, 2.0 * r);
+      if (dominates_tolerant(around, released, config_.max_violations,
+                             config_.max_deficit)) {
+        candidates.push_back(db_->poi(id).pos);
+        if (candidates.size() > kMaxCandidatesPerPivot) break;
+      }
+    }
+    if (candidates.size() <= kMaxCandidatesPerPivot) {
+      votes.insert(votes.end(), candidates.begin(), candidates.end());
+    }
+  }
+
+  // Greedy clustering: positions within 2r of a cluster seed merge into
+  // it (anchors of the same user are within 2r of each other).
+  for (const geo::Point v : votes) {
+    bool merged = false;
+    for (auto& cluster : result.clusters) {
+      if (geo::distance(cluster.center, v) <= 2.0 * r) {
+        // Running mean keeps the centre near the densest evidence.
+        const double n = cluster.votes;
+        cluster.center = {(cluster.center.x * n + v.x) / (n + 1),
+                          (cluster.center.y * n + v.y) / (n + 1)};
+        ++cluster.votes;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) result.clusters.push_back({v, 1});
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const auto& a, const auto& b) { return a.votes > b.votes; });
+
+  if (!result.clusters.empty()) {
+    int total = 0;
+    for (const auto& cluster : result.clusters) total += cluster.votes;
+    result.decided = result.clusters.front().votes >=
+                     config_.win_margin * static_cast<double>(total);
+  }
+  return result;
+}
+
+bool RobustReidentifier::success(const RobustReidResult& result,
+                                 geo::Point truth, double r) const noexcept {
+  return result.decided &&
+         geo::distance(result.best(), truth) <= 2.0 * r + 1e-9;
+}
+
+}  // namespace poiprivacy::attack

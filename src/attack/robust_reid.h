@@ -1,0 +1,67 @@
+// Pivot-robust re-identification — an extension beyond the paper.
+//
+// The aggregate-level defenses (sanitization, Eq. 7/9 optimization)
+// perturb exactly the entries the baseline attack keys on: the rarest
+// present types. This variant assumes the released vector may have up to
+// a few suppressed or inflated entries and compensates:
+//
+//   * instead of one pivot it tries the `num_pivots` rarest present
+//     types;
+//   * the domination test tolerates up to `max_violations` violated
+//     dimensions with total deficit at most `max_deficit` (a suppressed
+//     entry in the release can only make domination easier, but an
+//     *inflated* one would wrongly prune the true anchor — the tolerant
+//     test survives that);
+//   * candidates found under different pivots vote: positions within r of
+//     each other are merged, and the attack succeeds when one merged
+//     cluster clearly dominates the vote.
+#pragma once
+
+#include "attack/region_reid.h"
+
+namespace poiprivacy::attack {
+
+struct RobustReidConfig {
+  std::size_t num_pivots = 3;     ///< how many rare present types to try
+  int max_violations = 2;         ///< dimensions allowed to violate domination
+  std::int32_t max_deficit = 3;   ///< total count deficit tolerated
+  /// A cluster wins when it has at least this fraction of all votes.
+  double win_margin = 0.5;
+};
+
+struct RobustReidResult {
+  /// Merged candidate clusters, best first.
+  struct Cluster {
+    geo::Point center;
+    int votes = 0;
+  };
+  std::vector<Cluster> clusters;
+  bool decided = false;  ///< one cluster won the vote
+
+  geo::Point best() const { return clusters.front().center; }
+};
+
+/// Tolerant domination: a >= b except for at most `max_violations`
+/// dimensions whose total deficit is at most `max_deficit`.
+bool dominates_tolerant(const poi::FrequencyVector& a,
+                        const poi::FrequencyVector& b, int max_violations,
+                        std::int32_t max_deficit) noexcept;
+
+class RobustReidentifier {
+ public:
+  RobustReidentifier(const poi::PoiDatabase& db, RobustReidConfig config = {})
+      : db_(&db), config_(config) {}
+
+  RobustReidResult infer(const poi::FrequencyVector& released, double r) const;
+
+  /// Success criterion analogous to attack_success: decided and the best
+  /// cluster's centre is within r of the truth.
+  bool success(const RobustReidResult& result, geo::Point truth,
+               double r) const noexcept;
+
+ private:
+  const poi::PoiDatabase* db_;
+  RobustReidConfig config_;
+};
+
+}  // namespace poiprivacy::attack

@@ -1,0 +1,98 @@
+#include "attack/trajectory_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traj/trajectory.h"
+
+namespace poiprivacy::attack {
+
+std::vector<double> TrajectoryAttack::make_features(
+    const poi::FrequencyVector& f1, const poi::FrequencyVector& f2,
+    traj::TimeSec t1, traj::TimeSec t2) const {
+  std::vector<double> row;
+  row.reserve(2 + 24 + 7);
+  row.push_back(static_cast<double>(t2 - t1));
+  row.push_back(static_cast<double>(poi::l1_distance(f1, f2)));
+  ml::one_hot(static_cast<std::size_t>(traj::hour_of_day(t1)), 24, row);
+  ml::one_hot(static_cast<std::size_t>(traj::day_of_week(t1)), 7, row);
+  return row;
+}
+
+TrajectoryAttack::TrajectoryAttack(const poi::PoiDatabase& db,
+                                   std::span<const traj::ReleasePair> history,
+                                   double r,
+                                   const TrajectoryAttackConfig& config,
+                                   common::Rng& rng)
+    : db_(&db), r_(r), reid_(db), regressor_(config.svr) {
+  // Feature/target corpus from the attacker's historical pairs.
+  ml::Matrix x;
+  std::vector<double> y;
+  y.reserve(history.size());
+  for (const traj::ReleasePair& pair : history) {
+    const poi::FrequencyVector f1 = db.freq(pair.first, r);
+    const poi::FrequencyVector f2 = db.freq(pair.second, r);
+    x.push_row(make_features(f1, f2, pair.first_time, pair.second_time));
+    y.push_back(pair.distance_km());
+  }
+
+  const auto [train_idx, valid_idx] =
+      ml::train_test_split(x.rows(), config.validation_fraction, rng);
+  const ml::Matrix x_train_raw = ml::take_rows(x, train_idx);
+  const ml::Matrix x_train = scaler_.fit_transform(x_train_raw);
+  const std::vector<double> y_train = ml::take(std::span(y), train_idx);
+  regressor_.train(x_train, y_train, rng);
+
+  if (!valid_idx.empty()) {
+    const ml::Matrix x_valid =
+        scaler_.transform(ml::take_rows(x, valid_idx));
+    const std::vector<double> y_valid = ml::take(std::span(y), valid_idx);
+    validation_mae_ =
+        ml::mean_absolute_error(y_valid, regressor_.predict(x_valid));
+  }
+  tolerance_ = config.tolerance_km > 0.0
+                   ? config.tolerance_km
+                   : std::max(0.1, 2.0 * validation_mae_);
+}
+
+PairInferenceResult TrajectoryAttack::infer(const poi::FrequencyVector& f1,
+                                            const poi::FrequencyVector& f2,
+                                            traj::TimeSec t1,
+                                            traj::TimeSec t2) const {
+  PairInferenceResult result;
+  result.first = reid_.infer(f1, r_);
+  result.second = reid_.infer(f2, r_);
+
+  std::vector<double> features = make_features(f1, f2, t1, t2);
+  scaler_.transform_row(features);
+  result.estimated_distance_km = std::max(0.0, regressor_.predict(features));
+
+  if (result.second.candidates.empty()) {
+    // No second-release evidence; the pair filter cannot help.
+    result.filtered_first_candidates = result.first.candidates;
+    return result;
+  }
+  for (const poi::PoiId a : result.first.candidates) {
+    const geo::Point pa = db_->poi(a).pos;
+    const bool consistent = std::any_of(
+        result.second.candidates.begin(), result.second.candidates.end(),
+        [&](poi::PoiId b) {
+          // Anchors sit within r of the true endpoints, so the anchor
+          // distance deviates from the travelled distance by at most 2r;
+          // typical deviations are near r, and the empty-filter fallback
+          // below makes the tighter bound safe.
+          return std::abs(geo::distance(pa, db_->poi(b).pos) -
+                          result.estimated_distance_km) <=
+                 tolerance_ + r_;
+        });
+    if (consistent) result.filtered_first_candidates.push_back(a);
+  }
+  if (result.filtered_first_candidates.empty()) {
+    // The regressor was too aggressive; a rational attacker falls back to
+    // the unfiltered candidates rather than concluding "nowhere".
+    result.filtered_first_candidates = result.first.candidates;
+  }
+  return result;
+}
+
+}  // namespace poiprivacy::attack

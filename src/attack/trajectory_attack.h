@@ -1,0 +1,77 @@
+// Trajectory-uniqueness attack (Section IV-B).
+//
+// When a user releases two successive aggregates F(l1, r), F(l2, r), the
+// attacker first runs the baseline attack on each, obtaining candidate
+// sets C1, C2. An SVR regressor — trained on historical release pairs —
+// estimates the distance the user travelled between the releases from
+//   (duration, L1 distance of the two vectors,
+//    one-hot hour-of-day, one-hot day-of-week),
+// and candidate pairs (a, b) in C1 x C2 whose geographic distance is
+// inconsistent with the estimate are discarded. If the surviving pairs
+// project to a single first-location candidate, the attack succeeds even
+// where the single-release attack was ambiguous.
+#pragma once
+
+#include <span>
+
+#include "attack/region_reid.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/svr.h"
+#include "traj/generators.h"
+
+namespace poiprivacy::attack {
+
+struct TrajectoryAttackConfig {
+  /// Distance-consistency tolerance (km). <= 0 derives it from the
+  /// regressor's validation MAE: tolerance = max(0.1, 2 * MAE).
+  double tolerance_km = -1.0;
+  double validation_fraction = 0.25;
+  ml::SvrConfig svr{};
+};
+
+struct PairInferenceResult {
+  ReidResult first;                 ///< baseline result for F(l1, r)
+  ReidResult second;                ///< baseline result for F(l2, r)
+  double estimated_distance_km = 0.0;
+  /// First-location candidates surviving the pair filter.
+  std::vector<poi::PoiId> filtered_first_candidates;
+
+  bool baseline_unique() const noexcept { return first.unique(); }
+  bool enhanced_unique() const noexcept {
+    return filtered_first_candidates.size() == 1;
+  }
+};
+
+class TrajectoryAttack {
+ public:
+  /// Trains the distance regressor on historical release pairs (the
+  /// attacker's prior knowledge).
+  TrajectoryAttack(const poi::PoiDatabase& db,
+                   std::span<const traj::ReleasePair> history, double r,
+                   const TrajectoryAttackConfig& config, common::Rng& rng);
+
+  /// Attacks one pair of successive releases.
+  PairInferenceResult infer(const poi::FrequencyVector& f1,
+                            const poi::FrequencyVector& f2,
+                            traj::TimeSec t1, traj::TimeSec t2) const;
+
+  double validation_mae_km() const noexcept { return validation_mae_; }
+  double tolerance_km() const noexcept { return tolerance_; }
+
+ private:
+  std::vector<double> make_features(const poi::FrequencyVector& f1,
+                                    const poi::FrequencyVector& f2,
+                                    traj::TimeSec t1,
+                                    traj::TimeSec t2) const;
+
+  const poi::PoiDatabase* db_;
+  double r_;
+  RegionReidentifier reid_;
+  ml::StandardScaler scaler_;
+  ml::Svr regressor_;
+  double validation_mae_ = 0.0;
+  double tolerance_ = 0.1;
+};
+
+}  // namespace poiprivacy::attack

@@ -1,0 +1,65 @@
+#include "cloak/kcloak.h"
+
+#include <algorithm>
+
+namespace poiprivacy::cloak {
+
+AdaptiveIntervalCloaker::AdaptiveIntervalCloaker(std::vector<geo::Point> users,
+                                                 geo::BBox bounds)
+    : bounds_(bounds), users_(users), tree_(std::move(users), bounds) {}
+
+CloakResult AdaptiveIntervalCloaker::cloak(geo::Point target,
+                                           std::size_t k) const {
+  geo::BBox current = bounds_;
+  int depth = 0;
+  while (depth < kMaxDepth) {
+    const geo::Point c = current.center();
+    // Quadrant containing the target (boundary goes left/bottom, matching
+    // the quadtree's partition rule).
+    const geo::BBox quadrant{
+        target.x < c.x ? current.min_x : c.x,
+        target.y < c.y ? current.min_y : c.y,
+        target.x < c.x ? c.x : current.max_x,
+        target.y < c.y ? c.y : current.max_y,
+    };
+    // Requester + (k-1) registered users give k-anonymity.
+    const std::size_t inside = tree_.count_in_box(quadrant);
+    if (inside + 1 < k) break;
+    current = quadrant;
+    ++depth;
+  }
+  return {current, tree_.count_in_box(current), depth};
+}
+
+std::vector<geo::Point> AdaptiveIntervalCloaker::dummy_locations(
+    geo::Point target, std::size_t k, common::Rng& rng) const {
+  std::vector<geo::Point> out;
+  if (k == 0) return out;
+  const CloakResult result = cloak(target, k);
+  out.push_back(target);
+  std::vector<std::uint32_t> ids = tree_.query_box(result.region);
+  rng.shuffle(ids);
+  for (const std::uint32_t id : ids) {
+    if (out.size() >= k) break;
+    out.push_back(tree_.point(id));
+  }
+  while (out.size() < k) {
+    out.push_back({rng.uniform(result.region.min_x, result.region.max_x),
+                   rng.uniform(result.region.min_y, result.region.max_y)});
+  }
+  return out;
+}
+
+std::vector<geo::Point> uniform_population(const geo::BBox& bounds,
+                                           std::size_t count,
+                                           common::Rng& rng) {
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.uniform(bounds.min_x, bounds.max_x),
+                   rng.uniform(bounds.min_y, bounds.max_y)});
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::cloak

@@ -1,0 +1,71 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace poiprivacy::common {
+
+namespace {
+
+bool is_flag(const std::string& arg) {
+  return arg.size() > 2 && arg.compare(0, 2, "--") == 0;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+      has_value = true;
+    } else if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!known.empty() &&
+        std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = has_value ? value : "true";
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Flags::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Flags::get(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace poiprivacy::common

@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--name`. Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace poiprivacy::common {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on a malformed or (if
+  /// `known` is nonempty) unknown flag.
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known = {});
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  double get(const std::string& name, double fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace poiprivacy::common

@@ -1,0 +1,60 @@
+// Small statistics helpers shared by the evaluation harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace poiprivacy::common {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than two values.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Median; 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]; 0 for an empty span.
+double quantile(std::span<const double> xs, double q);
+
+/// Min / max; 0 for an empty span.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Empirical CDF evaluated at caller-chosen thresholds.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;  ///< fraction of samples <= x
+};
+
+/// Evaluates the empirical CDF of `samples` at each threshold.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> samples,
+                                    std::span<const double> thresholds);
+
+/// Evaluates the empirical CDF at `steps` evenly spaced thresholds covering
+/// [0, max(samples)].
+std::vector<CdfPoint> empirical_cdf(std::span<const double> samples,
+                                    std::size_t steps);
+
+/// "0.123" style formatting used by the bench tables.
+std::string fmt(double x, int decimals = 3);
+
+}  // namespace poiprivacy::common

@@ -1,0 +1,85 @@
+#include "defense/opt_defense.h"
+
+#include "dp/discrete.h"
+
+#include <algorithm>
+
+namespace poiprivacy::defense {
+
+namespace {
+
+/// Perturbation is restricted to the citywide-rare tail (count <= 10, the
+/// sanitization threshold): common types carry almost no objective weight
+/// and suppressing them would damage the Top-K utility.
+int rare_rank_cap(const poi::PoiDatabase& db) {
+  return static_cast<int>(db.types_with_city_freq_at_most(10).size());
+}
+
+}  // namespace
+
+poi::FrequencyVector OptimizationDefense::release(
+    const poi::FrequencyVector& original) const {
+  opt::DistortionProblem problem;
+  problem.base.assign(original.begin(), original.end());
+  problem.rank = db_->infrequency_rank();
+  problem.beta = beta_;
+  problem.max_injection = max_injection_;
+  problem.max_rank = rare_rank_cap(*db_);
+  return opt::optimize_release(problem).release;
+}
+
+std::vector<double> DpDefense::noised_mean(geo::Point location, double r,
+                                           common::Rng& rng) const {
+  const std::vector<geo::Point> dummies =
+      cloaker_->dummy_locations(location, config_.k, rng);
+  std::vector<poi::FrequencyVector> vectors;
+  vectors.reserve(dummies.size());
+  for (const geo::Point d : dummies) vectors.push_back(db_->freq(d, r));
+
+  const std::size_t m = db_->num_types();
+  const double k = static_cast<double>(dummies.size());
+  std::vector<double> mean(m, 0.0);
+  const dp::PrivacyParams params{config_.epsilon, config_.delta};
+  for (std::size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    double sensitivity = 0.0;  // Delta_i = max_d F_d[i]
+    for (const poi::FrequencyVector& f : vectors) {
+      sum += f[i];
+      sensitivity = std::max(sensitivity, static_cast<double>(f[i]));
+    }
+    double noised = sum;
+    if (sensitivity > 0.0) {
+      switch (config_.noise) {
+        case DpNoiseKind::kGaussian: {
+          const double sigma =
+              dp::GaussianMechanism::calibrated_sigma(params, sensitivity);
+          noised = sum + rng.normal(0.0, sigma);
+          break;
+        }
+        case DpNoiseKind::kGeometric: {
+          const dp::GeometricMechanism mech(
+              config_.epsilon, static_cast<std::int64_t>(sensitivity));
+          noised = static_cast<double>(
+              mech.perturb(static_cast<std::int64_t>(std::llround(sum)),
+                           rng));
+          break;
+        }
+      }
+    }
+    mean[i] = noised / k;
+  }
+  return mean;
+}
+
+poi::FrequencyVector DpDefense::release(geo::Point location, double r,
+                                        common::Rng& rng) const {
+  opt::DistortionProblem problem;
+  problem.base = noised_mean(location, r, rng);
+  problem.rank = db_->infrequency_rank();
+  problem.beta = config_.beta;
+  problem.max_injection = config_.max_injection;
+  problem.max_rank = rare_rank_cap(*db_);
+  return opt::optimize_release(problem).release;
+}
+
+}  // namespace poiprivacy::defense

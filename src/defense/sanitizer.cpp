@@ -1,0 +1,17 @@
+#include "defense/sanitizer.h"
+
+namespace poiprivacy::defense {
+
+Sanitizer::Sanitizer(const poi::PoiDatabase& db,
+                     std::int32_t city_freq_threshold)
+    : sanitized_(db.types_with_city_freq_at_most(city_freq_threshold)),
+      mask_(db.num_types(), false) {
+  for (const poi::TypeId t : sanitized_) mask_[t] = true;
+}
+
+poi::FrequencyVector Sanitizer::sanitize(poi::FrequencyVector released) const {
+  for (const poi::TypeId t : sanitized_) released[t] = 0;
+  return released;
+}
+
+}  // namespace poiprivacy::defense

@@ -1,0 +1,29 @@
+// Frequency sanitization (Section III-A): zero out the entries of every
+// type whose citywide count is at most a threshold. The paper's
+// "aggressive" setting uses threshold 10, which sanitizes 90 types in
+// Beijing and 138 in New York City.
+#pragma once
+
+#include <vector>
+
+#include "poi/database.h"
+
+namespace poiprivacy::defense {
+
+class Sanitizer {
+ public:
+  Sanitizer(const poi::PoiDatabase& db, std::int32_t city_freq_threshold = 10);
+
+  poi::FrequencyVector sanitize(poi::FrequencyVector released) const;
+
+  bool is_sanitized(poi::TypeId t) const { return mask_[t]; }
+  const std::vector<poi::TypeId>& sanitized_types() const noexcept {
+    return sanitized_;
+  }
+
+ private:
+  std::vector<poi::TypeId> sanitized_;
+  std::vector<bool> mask_;
+};
+
+}  // namespace poiprivacy::defense

@@ -1,0 +1,47 @@
+#include "defense/session.h"
+
+namespace poiprivacy::defense {
+
+namespace {
+
+dp::PrivacyParams tighter(dp::PrivacyParams a, dp::PrivacyParams b) {
+  return a.epsilon <= b.epsilon ? a : b;
+}
+
+}  // namespace
+
+dp::PrivacyParams ReleaseSession::spent() const {
+  dp::PrivacyAccountant copy = accountant_;
+  const dp::PrivacyParams basic = copy.basic_composition();
+  if (config_.advanced_slack > 0.0 && copy.releases() > 0) {
+    return tighter(basic, copy.advanced_composition(config_.advanced_slack));
+  }
+  return basic;
+}
+
+dp::PrivacyParams ReleaseSession::composed_after_one_more() const {
+  dp::PrivacyAccountant hypothetical = accountant_;
+  hypothetical.spend({config_.release.epsilon, config_.release.delta});
+  const dp::PrivacyParams basic = hypothetical.basic_composition();
+  if (config_.advanced_slack > 0.0) {
+    return tighter(basic,
+                   hypothetical.advanced_composition(config_.advanced_slack));
+  }
+  return basic;
+}
+
+bool ReleaseSession::exhausted() const {
+  const dp::PrivacyParams next = composed_after_one_more();
+  return next.epsilon > config_.epsilon_ceiling ||
+         next.delta > config_.delta_ceiling;
+}
+
+std::optional<poi::FrequencyVector> ReleaseSession::release(
+    geo::Point location, double r, common::Rng& rng) {
+  if (exhausted()) return std::nullopt;
+  poi::FrequencyVector out = defense_.release(location, r, rng);
+  accountant_.spend({config_.release.epsilon, config_.release.delta});
+  return out;
+}
+
+}  // namespace poiprivacy::defense

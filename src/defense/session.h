@@ -1,0 +1,52 @@
+// ReleaseSession — budget-managed repeated releases for one user.
+//
+// A mobile user keeps querying the LBS over a day; every DP release
+// spends privacy budget, and the guarantees degrade under composition.
+// The session wraps the DP defense with a PrivacyAccountant and a hard
+// budget ceiling: releases are refused once the composed (eps, delta)
+// would exceed it. This operationalizes the paper's per-release guarantee
+// into something a real client could ship.
+#pragma once
+
+#include <optional>
+
+#include "defense/opt_defense.h"
+#include "dp/accountant.h"
+
+namespace poiprivacy::defense {
+
+struct SessionConfig {
+  DpDefenseConfig release;          ///< per-release mechanism parameters
+  double epsilon_ceiling = 10.0;    ///< refuse once composed eps exceeds this
+  double delta_ceiling = 0.5;       ///< ... or composed delta exceeds this
+  /// Use advanced composition with this slack when it is tighter than
+  /// basic composition (<= 0 disables; slack adds to the composed delta).
+  double advanced_slack = 1e-6;
+};
+
+class ReleaseSession {
+ public:
+  ReleaseSession(const poi::PoiDatabase& db,
+                 const cloak::AdaptiveIntervalCloaker& cloaker,
+                 SessionConfig config)
+      : defense_(db, cloaker, config.release), config_(config) {}
+
+  /// One protected release, or nullopt if it would blow the budget.
+  std::optional<poi::FrequencyVector> release(geo::Point location, double r,
+                                              common::Rng& rng);
+
+  /// The privacy cost already spent (tightest available composition).
+  dp::PrivacyParams spent() const;
+
+  std::size_t releases() const noexcept { return accountant_.releases(); }
+  bool exhausted() const;
+
+ private:
+  dp::PrivacyParams composed_after_one_more() const;
+
+  DpDefense defense_;
+  SessionConfig config_;
+  dp::PrivacyAccountant accountant_;
+};
+
+}  // namespace poiprivacy::defense

@@ -1,0 +1,45 @@
+#include "dp/accountant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace poiprivacy::dp {
+
+void PrivacyAccountant::spend(PrivacyParams params) {
+  if (params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0) {
+    throw std::invalid_argument(
+        "accountant: requires epsilon > 0 and delta in [0, 1)");
+  }
+  ++releases_;
+  epsilon_sum_ += params.epsilon;
+  delta_sum_ += params.delta;
+  if (common_epsilon_ < 0.0) {
+    common_epsilon_ = params.epsilon;
+  } else if (common_epsilon_ != params.epsilon) {
+    mixed_epsilon_ = true;
+  }
+}
+
+PrivacyParams PrivacyAccountant::basic_composition() const noexcept {
+  return {epsilon_sum_, delta_sum_};
+}
+
+PrivacyParams PrivacyAccountant::advanced_composition(
+    double delta_prime) const {
+  if (delta_prime <= 0.0 || delta_prime >= 1.0) {
+    throw std::invalid_argument("accountant: delta_prime must be in (0, 1)");
+  }
+  if (mixed_epsilon_) {
+    throw std::logic_error(
+        "accountant: advanced composition requires a uniform epsilon");
+  }
+  if (releases_ == 0) return {0.0, delta_prime};
+  const double eps = common_epsilon_;
+  const auto k = static_cast<double>(releases_);
+  const double advanced =
+      eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
+      k * eps * (std::exp(eps) - 1.0);
+  return {advanced, delta_sum_ + delta_prime};
+}
+
+}  // namespace poiprivacy::dp

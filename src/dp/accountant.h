@@ -1,0 +1,38 @@
+// Privacy accounting across repeated releases. A user who publishes k
+// aggregates through an (eps, delta)-DP mechanism has, by basic
+// composition, spent (k*eps, k*delta); advanced composition (Dwork &
+// Roth, Thm 3.20) gives the tighter
+//   eps' = eps * sqrt(2 k ln(1/delta')) + k eps (e^eps - 1)
+// for any extra slack delta'.
+#pragma once
+
+#include <cstddef>
+
+#include "dp/mechanisms.h"
+
+namespace poiprivacy::dp {
+
+class PrivacyAccountant {
+ public:
+  /// Records one (eps, delta)-DP release. Throws on nonpositive eps or
+  /// delta outside [0, 1).
+  void spend(PrivacyParams params);
+
+  std::size_t releases() const noexcept { return releases_; }
+
+  /// Basic composition: sums of epsilons and deltas.
+  PrivacyParams basic_composition() const noexcept;
+
+  /// Advanced composition with slack delta_prime; only valid when every
+  /// recorded release used the same epsilon (throws otherwise).
+  PrivacyParams advanced_composition(double delta_prime) const;
+
+ private:
+  std::size_t releases_ = 0;
+  double epsilon_sum_ = 0.0;
+  double delta_sum_ = 0.0;
+  double common_epsilon_ = -1.0;  ///< -1 until first spend; NaN if mixed
+  bool mixed_epsilon_ = false;
+};
+
+}  // namespace poiprivacy::dp

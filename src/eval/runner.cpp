@@ -1,0 +1,69 @@
+#include "eval/runner.h"
+
+#include "common/stats.h"
+
+namespace poiprivacy::eval {
+
+ReleaseFn identity_release(const poi::PoiDatabase& db) {
+  return [&db](geo::Point l, double r) { return db.freq(l, r); };
+}
+
+AttackStats evaluate_attack(const poi::PoiDatabase& db,
+                            std::span<const geo::Point> locations, double r,
+                            const ReleaseFn& release) {
+  const attack::RegionReidentifier reid(db);
+  AttackStats stats;
+  for (const geo::Point l : locations) {
+    ++stats.attempts;
+    const attack::ReidResult result = reid.infer(release(l, r), r);
+    if (result.unique()) {
+      ++stats.unique;
+      if (attack::attack_success(result, db, l, r)) ++stats.correct;
+    }
+  }
+  return stats;
+}
+
+double FineGrainedStats::mean_area() const {
+  return common::mean(areas_km2);
+}
+
+FineGrainedStats evaluate_fine_grained(
+    const poi::PoiDatabase& db, std::span<const geo::Point> locations,
+    double r, const attack::FineGrainedConfig& config) {
+  const attack::FineGrainedAttack fine(db, config);
+  FineGrainedStats stats;
+  for (const geo::Point l : locations) {
+    ++stats.attempts;
+    const attack::FineGrainedResult result = fine.infer(db.freq(l, r), r);
+    if (!result.baseline_unique) continue;
+    // Only count attacks that correctly anchored the user; a unique-but-
+    // wrong anchor is a failed attack, not a small search area.
+    const geo::Point anchor = db.poi(result.major_anchor).pos;
+    if (geo::distance(anchor, l) > r + 1e-9) continue;
+    ++stats.successes;
+    if (result.contains(l)) ++stats.contains_truth;
+    stats.areas_km2.push_back(result.area_km2);
+    stats.aux_counts.push_back(
+        static_cast<double>(result.aux_anchors.size()));
+  }
+  return stats;
+}
+
+UtilityStats evaluate_utility(const poi::PoiDatabase& db,
+                              std::span<const geo::Point> locations, double r,
+                              const ReleaseFn& release, std::size_t top_k) {
+  UtilityStats stats;
+  double acc = 0.0;
+  for (const geo::Point l : locations) {
+    const poi::FrequencyVector truth = db.freq(l, r);
+    const poi::FrequencyVector published = release(l, r);
+    acc += poi::top_k_jaccard(truth, published, top_k);
+    ++stats.samples;
+  }
+  stats.mean_jaccard = stats.samples ? acc / static_cast<double>(stats.samples)
+                                     : 0.0;
+  return stats;
+}
+
+}  // namespace poiprivacy::eval

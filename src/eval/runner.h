@@ -1,0 +1,73 @@
+// Experiment runners shared by the bench binaries: evaluate the baseline
+// attack against an arbitrary release mechanism, the fine-grained attack,
+// and defense utility.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "attack/fine_grained.h"
+#include "attack/region_reid.h"
+#include "poi/database.h"
+
+namespace poiprivacy::eval {
+
+/// A release mechanism: what aggregate does the defender publish for a
+/// user at `l` querying radius `r`? The identity release is db.freq(l, r).
+using ReleaseFn =
+    std::function<poi::FrequencyVector(geo::Point l, double r)>;
+
+/// The unprotected release.
+ReleaseFn identity_release(const poi::PoiDatabase& db);
+
+struct AttackStats {
+  std::size_t attempts = 0;
+  /// |Phi| == 1 (the attack declared success).
+  std::size_t unique = 0;
+  /// |Phi| == 1 and the true location is within r of the anchor.
+  std::size_t correct = 0;
+
+  double success_rate() const noexcept {
+    return attempts ? static_cast<double>(correct) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+  double unique_rate() const noexcept {
+    return attempts ? static_cast<double>(unique) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+/// Runs the baseline attack on each location's released aggregate.
+AttackStats evaluate_attack(const poi::PoiDatabase& db,
+                            std::span<const geo::Point> locations, double r,
+                            const ReleaseFn& release);
+
+struct FineGrainedStats {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;          ///< baseline stage unique
+  std::size_t contains_truth = 0;     ///< feasible region covers the truth
+  std::vector<double> areas_km2;      ///< per successful attack
+  std::vector<double> aux_counts;     ///< anchors found per success
+
+  double mean_area() const;
+};
+
+/// Runs the fine-grained attack on unprotected releases.
+FineGrainedStats evaluate_fine_grained(const poi::PoiDatabase& db,
+                                       std::span<const geo::Point> locations,
+                                       double r,
+                                       const attack::FineGrainedConfig& config);
+
+struct UtilityStats {
+  std::size_t samples = 0;
+  double mean_jaccard = 0.0;  ///< Top-K Jaccard vs the unprotected vector
+};
+
+/// Mean Top-K Jaccard of a release mechanism against the truth.
+UtilityStats evaluate_utility(const poi::PoiDatabase& db,
+                              std::span<const geo::Point> locations, double r,
+                              const ReleaseFn& release, std::size_t top_k = 10);
+
+}  // namespace poiprivacy::eval

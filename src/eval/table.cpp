@@ -1,0 +1,47 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace poiprivacy::eval {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) out << '-';
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_section(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+void print_note(std::ostream& out, const std::string& note) {
+  out << "   " << note << "\n";
+}
+
+}  // namespace poiprivacy::eval

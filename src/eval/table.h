@@ -1,0 +1,29 @@
+// Plain-text table/series printing shared by the bench binaries, so every
+// figure reproduction reports its rows in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poiprivacy::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "== title ==" with a blank line around it.
+void print_section(std::ostream& out, const std::string& title);
+
+/// Prints "key: value" context lines (seed, sample sizes, ...).
+void print_note(std::ostream& out, const std::string& note);
+
+}  // namespace poiprivacy::eval

@@ -1,0 +1,73 @@
+#include "eval/uniqueness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poiprivacy::eval {
+
+std::size_t UniquenessMap::count(CellOutcome outcome) const {
+  return static_cast<std::size_t>(
+      std::count(cells.begin(), cells.end(), outcome));
+}
+
+double UniquenessMap::uniqueness_ratio() const {
+  const std::size_t unique = count(CellOutcome::kUnique);
+  const std::size_t nonempty = cells.size() - count(CellOutcome::kEmpty);
+  return nonempty ? static_cast<double>(unique) /
+                        static_cast<double>(nonempty)
+                  : 0.0;
+}
+
+UniquenessMap analyze_uniqueness(const poi::PoiDatabase& db, double r,
+                                 double cell_km) {
+  const geo::BBox& bounds = db.bounds();
+  UniquenessMap map;
+  map.cell_km = cell_km;
+  map.nx = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_km)));
+  map.ny = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_km)));
+  map.cells.resize(static_cast<std::size_t>(map.nx) * map.ny);
+
+  const attack::RegionReidentifier reid(db);
+  for (int iy = 0; iy < map.ny; ++iy) {
+    for (int ix = 0; ix < map.nx; ++ix) {
+      const geo::Point probe{bounds.min_x + (ix + 0.5) * cell_km,
+                             bounds.min_y + (iy + 0.5) * cell_km};
+      const poi::FrequencyVector released = db.freq(probe, r);
+      CellOutcome outcome = CellOutcome::kAmbiguous;
+      if (poi::total(released) == 0) {
+        outcome = CellOutcome::kEmpty;
+      } else {
+        const attack::ReidResult result = reid.infer(released, r);
+        if (attack::attack_success(result, db, probe, r)) {
+          outcome = CellOutcome::kUnique;
+        }
+      }
+      map.cells[static_cast<std::size_t>(iy) * map.nx + ix] = outcome;
+    }
+  }
+  return map;
+}
+
+std::string render_ascii(const UniquenessMap& map) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(map.ny) * (map.nx + 1));
+  for (int iy = map.ny - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < map.nx; ++ix) {
+      switch (map.at(ix, iy)) {
+        case CellOutcome::kUnique:
+          out += '#';
+          break;
+        case CellOutcome::kAmbiguous:
+          out += '.';
+          break;
+        case CellOutcome::kEmpty:
+          out += ' ';
+          break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::eval

@@ -1,0 +1,46 @@
+// Location-uniqueness analysis — the phenomenon (Cao et al., IMWUT'18)
+// that motivates the whole paper: how much of a city can be re-identified
+// from POI type aggregates alone?
+//
+// The analyzer sweeps a regular grid of probe locations and runs the
+// baseline attack on each honest release, producing
+//   * the citywide uniqueness ratio per query range, and
+//   * a per-cell map (unique / ambiguous / empty) for visualisation.
+#pragma once
+
+#include <vector>
+
+#include "attack/region_reid.h"
+#include "poi/database.h"
+
+namespace poiprivacy::eval {
+
+enum class CellOutcome : std::uint8_t {
+  kEmpty,      ///< no POI within range: nothing released, nothing to attack
+  kAmbiguous,  ///< attack left zero or several candidates
+  kUnique,     ///< attack re-identified the probe uniquely (and correctly)
+};
+
+struct UniquenessMap {
+  int nx = 0;
+  int ny = 0;
+  double cell_km = 0.0;
+  std::vector<CellOutcome> cells;  ///< row-major, bottom row first
+
+  CellOutcome at(int ix, int iy) const {
+    return cells[static_cast<std::size_t>(iy) * nx + ix];
+  }
+  std::size_t count(CellOutcome outcome) const;
+  /// Unique cells over non-empty cells (0 if the city is empty).
+  double uniqueness_ratio() const;
+};
+
+/// Probes the city on a grid of the given pitch at query radius r.
+UniquenessMap analyze_uniqueness(const poi::PoiDatabase& db, double r,
+                                 double cell_km = 1.0);
+
+/// Renders the map as ASCII art ('#': unique, '.': ambiguous, ' ': empty),
+/// top row first, one row per line.
+std::string render_ascii(const UniquenessMap& map);
+
+}  // namespace poiprivacy::eval

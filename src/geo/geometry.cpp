@@ -1,0 +1,64 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+
+namespace poiprivacy::geo {
+
+Point BBox::clamp(Point p) const noexcept {
+  return {std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+}
+
+bool BBox::intersects_disk(Point c, double r) const noexcept {
+  const Point nearest = clamp(c);
+  return distance_sq(nearest, c) <= r * r;
+}
+
+double disk_intersection_area(const Circle& a, const Circle& b) noexcept {
+  const double d = distance(a.center, b.center);
+  const double r1 = a.radius;
+  const double r2 = b.radius;
+  if (d >= r1 + r2) return 0.0;
+  if (d <= std::abs(r1 - r2)) {
+    const double r = std::min(r1, r2);
+    return M_PI * r * r;
+  }
+  const double r1_sq = r1 * r1;
+  const double r2_sq = r2 * r2;
+  const double alpha = std::acos(
+      std::clamp((d * d + r1_sq - r2_sq) / (2.0 * d * r1), -1.0, 1.0));
+  const double beta = std::acos(
+      std::clamp((d * d + r2_sq - r1_sq) / (2.0 * d * r2), -1.0, 1.0));
+  return r1_sq * (alpha - std::sin(2.0 * alpha) / 2.0) +
+         r2_sq * (beta - std::sin(2.0 * beta) / 2.0);
+}
+
+bool in_all_disks(Point p, std::span<const Circle> disks) noexcept {
+  for (const Circle& c : disks) {
+    if (!c.contains(p)) return false;
+  }
+  return true;
+}
+
+double disks_intersection_area(std::span<const Circle> disks, int resolution) {
+  if (disks.empty()) return 0.0;
+  // The intersection is contained in the smallest disk; sample its bbox.
+  const Circle* smallest = &disks[0];
+  for (const Circle& c : disks) {
+    if (c.radius < smallest->radius) smallest = &c;
+  }
+  const BBox box = smallest->bbox();
+  const double dx = box.width() / resolution;
+  const double dy = box.height() / resolution;
+  const double cell = dx * dy;
+  std::size_t inside = 0;
+  for (int iy = 0; iy < resolution; ++iy) {
+    const double y = box.min_y + (iy + 0.5) * dy;
+    for (int ix = 0; ix < resolution; ++ix) {
+      const Point p{box.min_x + (ix + 0.5) * dx, y};
+      if (in_all_disks(p, disks)) ++inside;
+    }
+  }
+  return static_cast<double>(inside) * cell;
+}
+
+}  // namespace poiprivacy::geo

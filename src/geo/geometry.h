@@ -1,0 +1,87 @@
+// Planar geometry primitives. All coordinates are kilometres in a local
+// projected plane (see geo/projection.h).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace poiprivacy::geo {
+
+struct Point {
+  double x = 0.0;  ///< km east of the local origin
+  double y = 0.0;  ///< km north of the local origin
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) noexcept {
+  return {a.x + b.x, a.y + b.y};
+}
+constexpr Point operator-(Point a, Point b) noexcept {
+  return {a.x - b.x, a.y - b.y};
+}
+constexpr Point operator*(Point a, double s) noexcept {
+  return {a.x * s, a.y * s};
+}
+
+inline double distance(Point a, Point b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline double distance_sq(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned bounding box.
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const noexcept { return max_x - min_x; }
+  double height() const noexcept { return max_y - min_y; }
+  double area() const noexcept { return width() * height(); }
+  Point center() const noexcept {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+  bool contains(Point p) const noexcept {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  /// Clamps p to the box.
+  Point clamp(Point p) const noexcept;
+  /// Does the box intersect the disk of radius r centred at c?
+  bool intersects_disk(Point c, double r) const noexcept;
+};
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  double area() const noexcept { return M_PI * radius * radius; }
+  bool contains(Point p) const noexcept {
+    return distance_sq(center, p) <= radius * radius;
+  }
+  BBox bbox() const noexcept {
+    return {center.x - radius, center.y - radius, center.x + radius,
+            center.y + radius};
+  }
+};
+
+/// Exact intersection area of two disks (standard lens formula).
+double disk_intersection_area(const Circle& a, const Circle& b) noexcept;
+
+/// Area of the intersection of all given disks, estimated on a regular
+/// `resolution` x `resolution` grid over the bbox of the first disk.
+/// Deterministic; relative error shrinks as O(1/resolution).
+/// Returns 0 for an empty span.
+double disks_intersection_area(std::span<const Circle> disks,
+                               int resolution = 256);
+
+/// True iff p lies in every disk.
+bool in_all_disks(Point p, std::span<const Circle> disks) noexcept;
+
+}  // namespace poiprivacy::geo

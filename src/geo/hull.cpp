@@ -1,0 +1,83 @@
+#include "geo/hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poiprivacy::geo {
+
+namespace {
+
+double cross(Point o, Point a, Point b) noexcept {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+std::vector<Point> convex_hull(std::span<const Point> points) {
+  std::vector<Point> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](Point a, Point b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) return pts;
+
+  std::vector<Point> hull(2 * pts.size());
+  std::size_t k = 0;
+  // Lower hull.
+  for (const Point& p : pts) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], p) <= 0.0) --k;
+    hull[k++] = p;
+  }
+  // Upper hull.
+  const std::size_t lower_end = k + 1;
+  for (std::size_t i = pts.size() - 1; i-- > 0;) {
+    while (k >= lower_end && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return hull;
+}
+
+double polygon_signed_area(std::span<const Point> ring) noexcept {
+  if (ring.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Point a = ring[i];
+    const Point b = ring[(i + 1) % ring.size()];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+double polygon_area(std::span<const Point> ring) noexcept {
+  return std::abs(polygon_signed_area(ring));
+}
+
+bool polygon_contains(std::span<const Point> ring, Point p) noexcept {
+  if (ring.size() < 3) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = ring.size() - 1; i < ring.size(); j = i++) {
+    const Point a = ring[i];
+    const Point b = ring[j];
+    // Boundary check: p on segment ab.
+    const double d = cross(a, b, p);
+    if (std::abs(d) < 1e-12 &&
+        p.x >= std::min(a.x, b.x) - 1e-12 &&
+        p.x <= std::max(a.x, b.x) + 1e-12 &&
+        p.y >= std::min(a.y, b.y) - 1e-12 &&
+        p.y <= std::max(a.y, b.y) + 1e-12) {
+      return true;
+    }
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at =
+          a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace poiprivacy::geo

@@ -1,0 +1,26 @@
+// Convex hulls and polygon operations, used to summarize anchor sets and
+// cloaked regions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::geo {
+
+/// Convex hull (Andrew monotone chain), counter-clockwise, no repeated
+/// first point. Collinear input degenerates to its two extreme points;
+/// fewer than 3 distinct points are returned as-is (deduplicated).
+std::vector<Point> convex_hull(std::span<const Point> points);
+
+/// Signed polygon area via the shoelace formula (positive for CCW rings).
+double polygon_signed_area(std::span<const Point> ring) noexcept;
+
+/// |signed area|.
+double polygon_area(std::span<const Point> ring) noexcept;
+
+/// Point-in-polygon by ray casting; boundary points count as inside.
+bool polygon_contains(std::span<const Point> ring, Point p) noexcept;
+
+}  // namespace poiprivacy::geo

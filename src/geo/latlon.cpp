@@ -1,0 +1,39 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+namespace poiprivacy::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+constexpr double deg2rad(double deg) noexcept { return deg * M_PI / 180.0; }
+}  // namespace
+
+double haversine_km(LatLon a, LatLon b) noexcept {
+  const double phi1 = deg2rad(a.lat_deg);
+  const double phi2 = deg2rad(b.lat_deg);
+  const double dphi = phi2 - phi1;
+  const double dlambda = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dphi / 2.0);
+  const double t = std::sin(dlambda / 2.0);
+  const double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+LocalProjection::LocalProjection(LatLon reference) noexcept
+    : reference_(reference),
+      km_per_deg_lat_(kEarthRadiusKm * M_PI / 180.0),
+      km_per_deg_lon_(kEarthRadiusKm * M_PI / 180.0 *
+                      std::cos(deg2rad(reference.lat_deg))) {}
+
+Point LocalProjection::to_plane(LatLon geo) const noexcept {
+  return {(geo.lon_deg - reference_.lon_deg) * km_per_deg_lon_,
+          (geo.lat_deg - reference_.lat_deg) * km_per_deg_lat_};
+}
+
+LatLon LocalProjection::to_geo(Point p) const noexcept {
+  return {reference_.lat_deg + p.y / km_per_deg_lat_,
+          reference_.lon_deg + p.x / km_per_deg_lon_};
+}
+
+}  // namespace poiprivacy::geo

@@ -1,0 +1,37 @@
+// Geographic coordinates and the local planar projection used to map a
+// city onto the km-based plane that the rest of the library works in.
+#pragma once
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::geo {
+
+/// WGS84 geographic coordinate in degrees.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Great-circle distance in km (haversine on a spherical Earth).
+double haversine_km(LatLon a, LatLon b) noexcept;
+
+/// Equirectangular projection about a reference point. Adequate for a
+/// city-scale extent (tens of km), where the distortion relative to the
+/// haversine distance is well under 0.1%.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon reference) noexcept;
+
+  Point to_plane(LatLon geo) const noexcept;
+  LatLon to_geo(Point p) const noexcept;
+  LatLon reference() const noexcept { return reference_; }
+
+ private:
+  LatLon reference_;
+  double km_per_deg_lat_;
+  double km_per_deg_lon_;
+};
+
+}  // namespace poiprivacy::geo

@@ -1,0 +1,150 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace poiprivacy::ml {
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::push_row: column count mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  means_.assign(d, 0.0);
+  scales_.assign(d, 1.0);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - means_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(n));
+    scales_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  assert(x.cols() == means_.size());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      dst[j] = (src[j] - means_[j]) / scales_[j];
+    }
+  }
+  return out;
+}
+
+void StandardScaler::transform_row(std::span<double> row) const {
+  assert(row.size() == means_.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    row[j] = (row[j] - means_[j]) / scales_[j];
+  }
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> train_test_split(
+    std::size_t n, double test_fraction, common::Rng& rng) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  rng.shuffle(indices);
+  const auto n_test = static_cast<std::size_t>(
+      std::round(test_fraction * static_cast<double>(n)));
+  std::vector<std::size_t> test(indices.begin(),
+                                indices.begin() + static_cast<std::ptrdiff_t>(
+                                                      std::min(n_test, n)));
+  std::vector<std::size_t> train(
+      indices.begin() + static_cast<std::ptrdiff_t>(std::min(n_test, n)),
+      indices.end());
+  return {std::move(train), std::move(test)};
+}
+
+Matrix take_rows(const Matrix& x, std::span<const std::size_t> indices) {
+  Matrix out(indices.size(), x.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = x.row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+std::vector<double> take(std::span<const double> v,
+                         std::span<const std::size_t> indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(v[i]);
+  return out;
+}
+
+std::vector<int> take(std::span<const int> v,
+                      std::span<const std::size_t> indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(v[i]);
+  return out;
+}
+
+double accuracy(std::span<const int> truth, std::span<const int> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double root_mean_squared_error(std::span<const double> truth,
+                               std::span<const double> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+void one_hot(std::size_t index, std::size_t size, std::vector<double>& out) {
+  assert(index < size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(i == index ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace poiprivacy::ml

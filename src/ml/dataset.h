@@ -1,0 +1,84 @@
+// Dense sample matrices and dataset utilities for the learning-based
+// attacks (sanitization recovery, trajectory distance regression).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace poiprivacy::ml {
+
+/// Row-major dense matrix of samples (rows) x features (columns).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Appends a row (must have cols() entries, or define cols on first row).
+  void push_row(std::span<const double> values);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Standardizes features to zero mean / unit variance (constant features
+/// are left centred with scale 1), mirroring the paper's preprocessing.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  void transform_row(std::span<double> row) const;
+  Matrix fit_transform(const Matrix& x);
+
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& scales() const noexcept { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Random index split: returns (train_indices, test_indices).
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> train_test_split(
+    std::size_t n, double test_fraction, common::Rng& rng);
+
+/// Selects the given rows of x (and optionally the matching entries of y).
+Matrix take_rows(const Matrix& x, std::span<const std::size_t> indices);
+std::vector<double> take(std::span<const double> v,
+                         std::span<const std::size_t> indices);
+std::vector<int> take(std::span<const int> v,
+                      std::span<const std::size_t> indices);
+
+/// Classification accuracy.
+double accuracy(std::span<const int> truth, std::span<const int> predicted);
+
+/// Regression errors.
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> predicted);
+double root_mean_squared_error(std::span<const double> truth,
+                               std::span<const double> predicted);
+
+/// Writes a one-hot encoding of `index` (0 <= index < size) into out.
+void one_hot(std::size_t index, std::size_t size, std::vector<double>& out);
+
+}  // namespace poiprivacy::ml

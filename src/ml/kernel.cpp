@@ -1,0 +1,34 @@
+#include "ml/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace poiprivacy::ml {
+
+double effective_gamma(const KernelParams& params, std::size_t num_features) {
+  if (params.gamma > 0.0) return params.gamma;
+  return num_features > 0 ? 1.0 / static_cast<double>(num_features) : 1.0;
+}
+
+double kernel_value(const KernelParams& params, double gamma,
+                    std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  switch (params.kind) {
+    case KernelKind::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelKind::kRbf: {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+      }
+      return std::exp(-gamma * d2);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace poiprivacy::ml

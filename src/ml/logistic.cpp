@@ -1,0 +1,122 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace poiprivacy::ml {
+
+namespace {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void BinaryLogistic::train(const Matrix& x, std::span<const int> labels,
+                           const LogisticConfig& config, common::Rng& rng) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  assert(labels.size() == n);
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  std::vector<double> grad(d);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Mild learning-rate decay for stable convergence.
+    const double lr =
+        config.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_bias = 0.0;
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t i = order[b];
+        const auto row = x.row(i);
+        // y in {0, 1} for the gradient of the log loss.
+        const double y = labels[i] > 0 ? 1.0 : 0.0;
+        const double p = probability(row);
+        const double err = p - y;
+        for (std::size_t j = 0; j < d; ++j) grad[j] += err * row[j];
+        grad_bias += err;
+      }
+      const double scale = lr / static_cast<double>(end - start);
+      for (std::size_t j = 0; j < d; ++j) {
+        weights_[j] -= scale * grad[j] + lr * config.l2 * weights_[j];
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+}
+
+double BinaryLogistic::decision(std::span<const double> row) const {
+  assert(row.size() == weights_.size());
+  double z = bias_;
+  for (std::size_t j = 0; j < row.size(); ++j) z += weights_[j] * row[j];
+  return z;
+}
+
+double BinaryLogistic::probability(std::span<const double> row) const {
+  return sigmoid(decision(row));
+}
+
+void LogisticClassifier::train(const Matrix& x, std::span<const int> labels,
+                               common::Rng& rng) {
+  classes_.assign(labels.begin(), labels.end());
+  std::sort(classes_.begin(), classes_.end());
+  classes_.erase(std::unique(classes_.begin(), classes_.end()),
+                 classes_.end());
+  machines_.clear();
+  if (classes_.size() < 2) return;
+
+  const std::size_t num_machines =
+      classes_.size() == 2 ? 1 : classes_.size();
+  std::vector<int> binary(labels.size());
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const int positive = classes_[m];
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == positive ? 1 : -1;
+    }
+    BinaryLogistic machine;
+    machine.train(x, binary, config_, rng);
+    machines_.push_back(std::move(machine));
+  }
+}
+
+int LogisticClassifier::predict(std::span<const double> row) const {
+  if (classes_.empty()) return 0;
+  if (classes_.size() == 1) return classes_[0];
+  if (classes_.size() == 2) {
+    return machines_[0].decision(row) >= 0.0 ? classes_[0] : classes_[1];
+  }
+  std::size_t best = 0;
+  double best_score = machines_[0].decision(row);
+  for (std::size_t m = 1; m < machines_.size(); ++m) {
+    const double score = machines_[m].decision(row);
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return classes_[best];
+}
+
+std::vector<int> LogisticClassifier::predict(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  return out;
+}
+
+}  // namespace poiprivacy::ml

@@ -1,0 +1,145 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace poiprivacy::ml {
+
+namespace {
+
+constexpr std::size_t kMaxGramSamples = 8000;
+
+/// Precomputed Gram matrix with the +1 bias term folded in.
+std::vector<double> gram_plus_one(const Matrix& x, const KernelParams& params,
+                                  double gamma) {
+  const std::size_t n = x.rows();
+  if (n > kMaxGramSamples) {
+    throw std::invalid_argument("svm: training set too large for Gram cache");
+  }
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel_value(params, gamma, x.row(i), x.row(j)) + 1.0;
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+void BinarySvm::train(const Matrix& x, std::span<const int> labels,
+                      const SvmConfig& config, common::Rng& rng) {
+  const std::size_t n = x.rows();
+  assert(labels.size() == n);
+  kernel_ = config.kernel;
+  gamma_ = effective_gamma(config.kernel, x.cols());
+  const std::vector<double> k = gram_plus_one(x, kernel_, gamma_);
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = sum_j alpha_j y_j k'(x_j, x_i)
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double max_violation = 0.0;
+    for (const std::size_t i : order) {
+      const double y = labels[i];
+      const double grad = y * f[i] - 1.0;  // dD/dalpha_i
+      // Projected-gradient KKT violation.
+      double violation = 0.0;
+      if (alpha[i] <= 0.0) {
+        violation = std::max(0.0, -grad);
+      } else if (alpha[i] >= config.c) {
+        violation = std::max(0.0, grad);
+      } else {
+        violation = std::abs(grad);
+      }
+      max_violation = std::max(max_violation, violation);
+      if (violation < config.tolerance) continue;
+      const double kii = k[i * n + i];
+      const double next =
+          std::clamp(alpha[i] - grad / kii, 0.0, config.c);
+      const double delta = next - alpha[i];
+      if (delta == 0.0) continue;
+      alpha[i] = next;
+      const double* row = &k[i * n];
+      const double scaled = delta * y;
+      for (std::size_t j = 0; j < n; ++j) f[j] += scaled * row[j];
+    }
+    if (max_violation < config.tolerance) break;
+  }
+
+  sv_ = Matrix(0, 0);
+  sv_coef_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12) {
+      sv_.push_row(x.row(i));
+      sv_coef_.push_back(alpha[i] * labels[i]);
+    }
+  }
+}
+
+double BinarySvm::decision(std::span<const double> row) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sv_.rows(); ++i) {
+    acc += sv_coef_[i] *
+           (kernel_value(kernel_, gamma_, sv_.row(i), row) + 1.0);
+  }
+  return acc;
+}
+
+void SvmClassifier::train(const Matrix& x, std::span<const int> labels,
+                          common::Rng& rng) {
+  classes_.assign(labels.begin(), labels.end());
+  std::sort(classes_.begin(), classes_.end());
+  classes_.erase(std::unique(classes_.begin(), classes_.end()),
+                 classes_.end());
+  machines_.clear();
+  if (classes_.size() < 2) return;  // constant classifier
+
+  // Two classes need a single machine; more use one-vs-rest.
+  const std::size_t num_machines =
+      classes_.size() == 2 ? 1 : classes_.size();
+  std::vector<int> binary(labels.size());
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const int positive = classes_[m];
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == positive ? 1 : -1;
+    }
+    BinarySvm machine;
+    machine.train(x, binary, config_, rng);
+    machines_.push_back(std::move(machine));
+  }
+}
+
+int SvmClassifier::predict(std::span<const double> row) const {
+  if (classes_.empty()) return 0;
+  if (classes_.size() == 1) return classes_[0];
+  if (classes_.size() == 2) {
+    return machines_[0].decision(row) >= 0.0 ? classes_[0] : classes_[1];
+  }
+  std::size_t best = 0;
+  double best_score = machines_[0].decision(row);
+  for (std::size_t m = 1; m < machines_.size(); ++m) {
+    const double score = machines_[m].decision(row);
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return classes_[best];
+}
+
+std::vector<int> SvmClassifier::predict(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  return out;
+}
+
+}  // namespace poiprivacy::ml

@@ -1,0 +1,49 @@
+// Epsilon-insensitive support vector regression, used by the trajectory-
+// uniqueness attack to estimate the distance between two successive
+// releases (Section IV-B).
+//
+// Solved in the dual over beta_i = alpha_i - alpha_i^* with the bias
+// absorbed into the kernel (k' = k + 1):
+//   min_beta  1/2 beta^T K' beta - y^T beta + epsilon * ||beta||_1,
+//   beta_i in [-C, C]
+// by cyclic coordinate descent with an exact soft-threshold update.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/kernel.h"
+
+namespace poiprivacy::ml {
+
+struct SvrConfig {
+  KernelParams kernel;
+  double c = 10.0;          ///< box constraint
+  double epsilon = 0.05;    ///< insensitive-tube half width
+  int max_epochs = 80;
+  double tolerance = 1e-4;  ///< stop when the largest coefficient step is below
+};
+
+class Svr {
+ public:
+  explicit Svr(SvrConfig config = {}) : config_(config) {}
+
+  /// Trains on standardized rows and raw targets.
+  void train(const Matrix& x, std::span<const double> targets,
+             common::Rng& rng);
+
+  double predict(std::span<const double> row) const;
+  std::vector<double> predict(const Matrix& x) const;
+
+  std::size_t num_support_vectors() const noexcept { return sv_.rows(); }
+
+ private:
+  SvrConfig config_;
+  Matrix sv_;
+  std::vector<double> sv_coef_;
+  double gamma_ = 1.0;
+};
+
+}  // namespace poiprivacy::ml

@@ -1,0 +1,96 @@
+#include "ml/validation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace poiprivacy::ml {
+
+std::vector<std::vector<std::size_t>> k_fold_indices(std::size_t n,
+                                                     std::size_t folds,
+                                                     common::Rng& rng) {
+  assert(folds >= 2 && folds <= std::max<std::size_t>(n, 2));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> out(folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i % folds].push_back(order[i]);
+  }
+  return out;
+}
+
+double cross_validate(
+    std::size_t n, std::size_t folds, common::Rng& rng,
+    const std::function<double(std::span<const std::size_t>,
+                               std::span<const std::size_t>)>&
+        train_and_score) {
+  const auto fold_indices = k_fold_indices(n, folds, rng);
+  double total = 0.0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train;
+    train.reserve(n);
+    for (std::size_t other = 0; other < folds; ++other) {
+      if (other == f) continue;
+      train.insert(train.end(), fold_indices[other].begin(),
+                   fold_indices[other].end());
+    }
+    total += train_and_score(train, fold_indices[f]);
+  }
+  return total / static_cast<double>(folds);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  ++counts_[{truth, predicted}];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  const auto it = counts_.find({truth, predicted});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& [key, n] : counts_) {
+    if (key.first == key.second) hits += n;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int label) const {
+  std::size_t predicted = 0;
+  std::size_t correct = 0;
+  for (const auto& [key, n] : counts_) {
+    if (key.second == label) {
+      predicted += n;
+      if (key.first == label) correct += n;
+    }
+  }
+  return predicted ? static_cast<double>(correct) / predicted : 0.0;
+}
+
+double ConfusionMatrix::recall(int label) const {
+  std::size_t actual = 0;
+  std::size_t correct = 0;
+  for (const auto& [key, n] : counts_) {
+    if (key.first == label) {
+      actual += n;
+      if (key.second == label) correct += n;
+    }
+  }
+  return actual ? static_cast<double>(correct) / actual : 0.0;
+}
+
+std::vector<int> ConfusionMatrix::labels() const {
+  std::set<int> labels;
+  for (const auto& [key, n] : counts_) {
+    (void)n;
+    labels.insert(key.first);
+    labels.insert(key.second);
+  }
+  return {labels.begin(), labels.end()};
+}
+
+}  // namespace poiprivacy::ml

@@ -1,0 +1,48 @@
+// Model-validation utilities: k-fold cross validation and a confusion
+// matrix, used by the recovery-model diagnostics.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace poiprivacy::ml {
+
+/// Deterministic k-fold index split: every index lands in exactly one
+/// fold; folds differ in size by at most one.
+std::vector<std::vector<std::size_t>> k_fold_indices(std::size_t n,
+                                                     std::size_t folds,
+                                                     common::Rng& rng);
+
+/// Runs k-fold cross validation of a classifier factory.
+/// `train_and_score(train_idx, test_idx)` must return the fold's score
+/// (e.g., accuracy); the mean score is returned.
+double cross_validate(
+    std::size_t n, std::size_t folds, common::Rng& rng,
+    const std::function<double(std::span<const std::size_t> train,
+                               std::span<const std::size_t> test)>&
+        train_and_score);
+
+/// Confusion counts over integer labels.
+class ConfusionMatrix {
+ public:
+  void add(int truth, int predicted);
+
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+  double accuracy() const;
+  /// Precision/recall for one label (0 when undefined).
+  double precision(int label) const;
+  double recall(int label) const;
+  std::vector<int> labels() const;
+
+ private:
+  std::map<std::pair<int, int>, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace poiprivacy::ml

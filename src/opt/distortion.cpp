@@ -1,0 +1,108 @@
+#include "opt/distortion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace poiprivacy::opt {
+
+namespace {
+
+poi::FrequencyVector rounded_base(std::span<const double> base) {
+  poi::FrequencyVector out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = static_cast<std::int32_t>(std::llround(std::max(0.0, base[i])));
+  }
+  return out;
+}
+
+}  // namespace
+
+double weighted_objective(std::span<const double> base,
+                          std::span<const int> rank,
+                          const poi::FrequencyVector& release) {
+  assert(base.size() == rank.size() && base.size() == release.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    acc += std::abs(release[i] - std::max(0.0, base[i])) /
+           static_cast<double>(rank[i]);
+  }
+  return acc;
+}
+
+double mean_relative_distortion(std::span<const double> base,
+                                const poi::FrequencyVector& release) {
+  assert(base.size() == release.size());
+  if (base.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double b = std::max(0.0, base[i]);
+    acc += std::abs(release[i] - b) / (b + 1.0);
+  }
+  return acc / static_cast<double>(base.size());
+}
+
+DistortionSolution optimize_release(const DistortionProblem& problem) {
+  const std::size_t m = problem.base.size();
+  if (problem.rank.size() != m) {
+    throw std::invalid_argument("optimize_release: base/rank size mismatch");
+  }
+  if (problem.beta < 0.0) {
+    throw std::invalid_argument("optimize_release: beta must be >= 0");
+  }
+
+  DistortionSolution solution;
+  solution.release = rounded_base(problem.base);
+  if (m == 0) return solution;
+
+  // Per-unit benefit 1/R(i); per-unit budget cost 1/(M (b_i + 1)).
+  // Greedy over descending benefit/cost = M (b_i + 1) / R(i).
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto ratio = [&problem, m](std::size_t i) {
+    const double b = std::max(0.0, problem.base[i]);
+    return static_cast<double>(m) * (b + 1.0) /
+           static_cast<double>(problem.rank[i]);
+  };
+  std::sort(order.begin(), order.end(), [&ratio](std::size_t a, std::size_t b) {
+    const double ra = ratio(a);
+    const double rb = ratio(b);
+    if (ra != rb) return ra > rb;
+    return a < b;  // deterministic tie-break
+  });
+
+  double remaining = problem.beta * static_cast<double>(m);
+  for (const std::size_t i : order) {
+    if (remaining <= 0.0) break;
+    if (problem.max_rank > 0 && problem.rank[i] > problem.max_rank) continue;
+    const double b = std::max(0.0, problem.base[i]);
+    const double unit_cost = 1.0 / (b + 1.0);
+    // Suppress positive entries down to 0; inject into zero entries.
+    const std::int32_t cap = solution.release[i] > 0
+                                 ? solution.release[i]
+                                 : problem.max_injection;
+    if (cap <= 0) continue;
+    const auto affordable = static_cast<std::int32_t>(remaining / unit_cost);
+    const std::int32_t delta = std::min(cap, affordable);
+    if (delta <= 0) continue;
+    if (solution.release[i] > 0) {
+      solution.release[i] -= delta;
+    } else {
+      solution.release[i] += delta;
+    }
+    remaining -= static_cast<double>(delta) * unit_cost;
+  }
+
+  solution.objective = weighted_objective(problem.base, problem.rank,
+                                          solution.release);
+  const double base_distortion =
+      mean_relative_distortion(problem.base, rounded_base(problem.base));
+  solution.spent_budget =
+      mean_relative_distortion(problem.base, solution.release) -
+      base_distortion;
+  return solution;
+}
+
+}  // namespace poiprivacy::opt

@@ -1,0 +1,63 @@
+#include "poi/categories.h"
+
+#include <cassert>
+#include <string>
+
+namespace poiprivacy::poi {
+
+Category category_of(std::string_view type_name) {
+  // Strip any "city/" prefix.
+  if (const auto slash = type_name.rfind('/'); slash != std::string_view::npos) {
+    type_name = type_name.substr(slash + 1);
+  }
+  for (std::size_t c = 0; c < kCategoryNames.size(); ++c) {
+    const std::string_view name = kCategoryNames[c];
+    if (type_name.size() > name.size() &&
+        type_name.substr(0, name.size()) == name &&
+        (type_name[name.size()] == '_' || type_name[name.size()] == '-')) {
+      return static_cast<Category>(c);
+    }
+  }
+  // Deterministic fallback: FNV-1a hash of the name.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : type_name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<Category>(h % kNumCategories);
+}
+
+std::vector<Category> categorize(const PoiTypeRegistry& types) {
+  std::vector<Category> out;
+  out.reserve(types.size());
+  for (TypeId t = 0; t < types.size(); ++t) {
+    out.push_back(category_of(types.name(t)));
+  }
+  return out;
+}
+
+FrequencyVector collapse(const FrequencyVector& type_freq,
+                         const std::vector<Category>& mapping) {
+  assert(type_freq.size() == mapping.size());
+  FrequencyVector out(kNumCategories, 0);
+  for (std::size_t t = 0; t < type_freq.size(); ++t) {
+    out[static_cast<std::size_t>(mapping[t])] += type_freq[t];
+  }
+  return out;
+}
+
+PoiDatabase category_view(const PoiDatabase& db) {
+  const std::vector<Category> mapping = categorize(db.types());
+  PoiTypeRegistry registry;
+  for (const std::string_view name : kCategoryNames) {
+    registry.intern(std::string(name));
+  }
+  std::vector<Poi> pois = db.pois();
+  for (Poi& p : pois) {
+    p.type = static_cast<TypeId>(mapping[p.type]);
+  }
+  return PoiDatabase(db.city_name() + "/categories", std::move(pois),
+                     std::move(registry), db.bounds());
+}
+
+}  // namespace poiprivacy::poi

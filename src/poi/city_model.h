@@ -1,0 +1,86 @@
+// Synthetic city generator — the stand-in for the paper's OpenStreetMap
+// extracts of Beijing and New York City (see DESIGN.md, Substitutions).
+//
+// The generator reproduces the two properties that drive location
+// uniqueness:
+//   1. a heavy-tailed (Zipf-like) type frequency marginal, calibrated so
+//      the number of "rare" types (citywide count <= 10) matches the
+//      paper's sanitization counts (Beijing 90, NYC 138);
+//   2. spatially clustered POI placement (commercial/residential clusters
+//      over the city bounding box) with a uniform background.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "poi/database.h"
+
+namespace poiprivacy::poi {
+
+struct CityPreset {
+  std::string name;
+  double width_km = 30.0;
+  double height_km = 30.0;
+  std::size_t num_pois = 10000;
+  std::size_t num_types = 150;
+  /// Calibration target: number of types with citywide count <= 10.
+  std::size_t target_rare_types = 80;
+  /// Shape of the rare tail: the number of rare types with count k is
+  /// proportional to k^(-rare_tail_exponent). 1.0 gives the many-
+  /// singletons OSM shape; smaller values flatten the tail (fewer
+  /// singletons), which matters in dense cities where singletons would
+  /// otherwise make every large query range unique.
+  double rare_tail_exponent = 1.0;
+  std::size_t num_clusters = 60;
+  /// Fraction of POIs placed uniformly instead of in a cluster.
+  double background_fraction = 0.1;
+  double min_cluster_sigma_km = 0.3;
+  double max_cluster_sigma_km = 1.2;
+  /// Same-type POIs are co-located around ceil(count / capacity) type
+  /// centres — real cities put their embassies (say) in one district, and
+  /// this spatial correlation is what limits the re-identification attack
+  /// at large query ranges (two same-type POIs within r of the user make
+  /// the candidate set ambiguous).
+  double type_center_capacity = 5.0;
+  /// Spread of a type's POIs around their type centre.
+  double type_sigma_km = 0.5;
+};
+
+/// Beijing stand-in: 10,249 POIs / 177 types / 90 rare types, 30x30 km.
+CityPreset beijing_preset();
+
+/// New York City stand-in: 30,056 POIs / 272 types / 138 rare, 28x22 km.
+CityPreset nyc_preset();
+
+/// Scaled-down city for unit tests (hundreds of POIs).
+CityPreset test_preset();
+
+/// Zipf-like per-type counts: count_i ~ round(C / i^s) with s chosen by
+/// bisection so that `target_rare` types end up with count <= rare_cutoff,
+/// then adjusted so counts sum exactly to `total`. Every type gets >= 1.
+std::vector<std::int32_t> calibrated_type_counts(std::size_t num_types,
+                                                 std::size_t total,
+                                                 std::size_t target_rare,
+                                                 std::int32_t rare_cutoff = 10,
+                                                 double tail_exponent = 1.0);
+
+/// Cluster layout of a generated city (exposed for trajectory generation:
+/// taxis and check-ins gravitate to the same hot spots as the POIs).
+struct CityLayout {
+  std::vector<geo::Point> cluster_centers;
+  std::vector<double> cluster_weights;
+  std::vector<double> cluster_sigmas_km;
+};
+
+/// A generated city: the POI database plus its layout.
+struct City {
+  PoiDatabase db;
+  CityLayout layout;
+};
+
+/// Deterministically generates a city from the preset and seed.
+City generate_city(const CityPreset& preset, std::uint64_t seed);
+
+}  // namespace poiprivacy::poi

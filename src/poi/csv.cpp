@@ -1,0 +1,96 @@
+#include "poi/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace poiprivacy::poi {
+
+void save_csv(const PoiDatabase& db, std::ostream& out) {
+  out << std::setprecision(12);
+  const geo::BBox& b = db.bounds();
+  out << "# city=" << db.city_name() << " min_x=" << b.min_x
+      << " min_y=" << b.min_y << " max_x=" << b.max_x << " max_y=" << b.max_y
+      << "\n";
+  out << "id,type,x_km,y_km\n";
+  for (const Poi& p : db.pois()) {
+    out << p.id << ',' << db.types().name(p.type) << ',' << p.pos.x << ','
+        << p.pos.y << "\n";
+  }
+}
+
+void save_csv(const PoiDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_csv(db, out);
+}
+
+namespace {
+
+double parse_kv(const std::string& header, const std::string& key) {
+  const std::string token = key + "=";
+  const auto pos = header.find(token);
+  if (pos == std::string::npos) {
+    throw std::runtime_error("csv header missing " + key);
+  }
+  return std::stod(header.substr(pos + token.size()));
+}
+
+std::string parse_city(const std::string& header) {
+  const std::string token = "city=";
+  const auto pos = header.find(token);
+  if (pos == std::string::npos) throw std::runtime_error("csv missing city=");
+  const auto start = pos + token.size();
+  const auto end = header.find(' ', start);
+  return header.substr(start, end - start);
+}
+
+}  // namespace
+
+PoiDatabase load_csv(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header.empty() || header[0] != '#') {
+    throw std::runtime_error("csv: missing '#' header line");
+  }
+  const std::string city = parse_city(header);
+  const geo::BBox bounds{parse_kv(header, "min_x"), parse_kv(header, "min_y"),
+                         parse_kv(header, "max_x"), parse_kv(header, "max_y")};
+  std::string columns;
+  if (!std::getline(in, columns) || columns != "id,type,x_km,y_km") {
+    throw std::runtime_error("csv: unexpected column header: " + columns);
+  }
+
+  PoiTypeRegistry registry;
+  std::vector<Poi> pois;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string id_str;
+    std::string type_name;
+    std::string x_str;
+    std::string y_str;
+    if (!std::getline(row, id_str, ',') || !std::getline(row, type_name, ',') ||
+        !std::getline(row, x_str, ',') || !std::getline(row, y_str)) {
+      throw std::runtime_error("csv: malformed row: " + line);
+    }
+    Poi p;
+    p.id = static_cast<PoiId>(std::stoul(id_str));
+    p.type = registry.intern(type_name);
+    p.pos = {std::stod(x_str), std::stod(y_str)};
+    if (p.id != pois.size()) {
+      throw std::runtime_error("csv: ids must be dense and in order");
+    }
+    pois.push_back(p);
+  }
+  return PoiDatabase(city, std::move(pois), std::move(registry), bounds);
+}
+
+PoiDatabase load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_csv(in);
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,26 @@
+// CSV persistence for POI databases, so generated cities can be exported,
+// inspected, and re-imported (or replaced with a real OSM extract that has
+// been converted to the same schema).
+//
+// Format:
+//   # city=<name> min_x=<..> min_y=<..> max_x=<..> max_y=<..>
+//   id,type,x_km,y_km
+//   0,beijing/type_3,12.500000,3.250000
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "poi/database.h"
+
+namespace poiprivacy::poi {
+
+void save_csv(const PoiDatabase& db, std::ostream& out);
+void save_csv(const PoiDatabase& db, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+PoiDatabase load_csv(std::istream& in);
+PoiDatabase load_csv(const std::string& path);
+
+}  // namespace poiprivacy::poi

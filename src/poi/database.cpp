@@ -1,0 +1,70 @@
+#include "poi/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace poiprivacy::poi {
+
+namespace {
+
+std::vector<geo::Point> positions_of(const std::vector<Poi>& pois) {
+  std::vector<geo::Point> out;
+  out.reserve(pois.size());
+  for (const Poi& p : pois) out.push_back(p.pos);
+  return out;
+}
+
+}  // namespace
+
+PoiDatabase::PoiDatabase(std::string city_name, std::vector<Poi> pois,
+                         PoiTypeRegistry types, geo::BBox bounds)
+    : city_name_(std::move(city_name)),
+      pois_(std::move(pois)),
+      types_(std::move(types)),
+      bounds_(bounds),
+      index_(positions_of(pois_), bounds) {
+  city_freq_.assign(types_.size(), 0);
+  by_type_.resize(types_.size());
+  for (PoiId i = 0; i < pois_.size(); ++i) {
+    assert(pois_[i].id == i && "POI ids must be dense indices");
+    assert(pois_[i].type < types_.size());
+    ++city_freq_[pois_[i].type];
+    by_type_[pois_[i].type].push_back(i);
+  }
+  // Infrequency rank: rarest type gets rank 1; ties by type id.
+  std::vector<TypeId> order(types_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](TypeId a, TypeId b) {
+    if (city_freq_[a] != city_freq_[b]) return city_freq_[a] < city_freq_[b];
+    return a < b;
+  });
+  rank_.assign(types_.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank_[order[i]] = static_cast<int>(i) + 1;
+  }
+}
+
+std::vector<PoiId> PoiDatabase::query(geo::Point center, double radius) const {
+  return index_.query_disk(center, radius);
+}
+
+FrequencyVector PoiDatabase::freq(geo::Point center, double radius) const {
+  FrequencyVector f(types_.size(), 0);
+  index_.for_each_in_disk(center, radius,
+                          [this, &f](std::uint32_t id, geo::Point) {
+                            ++f[pois_[id].type];
+                          });
+  return f;
+}
+
+std::vector<TypeId> PoiDatabase::types_with_city_freq_at_most(
+    std::int32_t threshold) const {
+  std::vector<TypeId> out;
+  for (TypeId t = 0; t < city_freq_.size(); ++t) {
+    if (city_freq_[t] > 0 && city_freq_[t] <= threshold) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,68 @@
+// PoiDatabase — the geo-information service provider (GSP) of the paper's
+// architecture. It owns the city's POI set and exposes exactly the two
+// operations the paper assumes:
+//
+//   Query(l, r) -> set of POIs within r of l
+//   Freq(l, r)  -> POI type frequency vector within r of l
+//
+// plus the citywide statistics (overall type frequency, infrequency ranks)
+// that both the attacks and the defenses use as public prior knowledge.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poi/frequency.h"
+#include "poi/poi.h"
+#include "spatial/grid_index.h"
+
+namespace poiprivacy::poi {
+
+class PoiDatabase {
+ public:
+  /// Takes ownership of the POI set. POI ids must equal their index.
+  PoiDatabase(std::string city_name, std::vector<Poi> pois,
+              PoiTypeRegistry types, geo::BBox bounds);
+
+  /// Query(l, r): ids of POIs within `radius` km of `center`.
+  std::vector<PoiId> query(geo::Point center, double radius) const;
+
+  /// Freq(l, r): the type frequency vector within `radius` km of `center`.
+  FrequencyVector freq(geo::Point center, double radius) const;
+
+  /// Citywide type frequency F (computed once at construction).
+  const FrequencyVector& city_freq() const noexcept { return city_freq_; }
+
+  /// Infrequency rank per type: the citywide-rarest type has rank 1.
+  /// Ties are broken by type id so ranks are a permutation of 1..M.
+  const std::vector<int>& infrequency_rank() const noexcept { return rank_; }
+
+  /// Types whose citywide frequency is <= threshold (the sanitization
+  /// target set T_S of Section III-A).
+  std::vector<TypeId> types_with_city_freq_at_most(std::int32_t threshold) const;
+
+  /// All POIs of the given type.
+  const std::vector<PoiId>& pois_of_type(TypeId type) const {
+    return by_type_.at(type);
+  }
+
+  const Poi& poi(PoiId id) const { return pois_.at(id); }
+  const std::vector<Poi>& pois() const noexcept { return pois_; }
+  const PoiTypeRegistry& types() const noexcept { return types_; }
+  std::size_t num_types() const noexcept { return types_.size(); }
+  const geo::BBox& bounds() const noexcept { return bounds_; }
+  const std::string& city_name() const noexcept { return city_name_; }
+
+ private:
+  std::string city_name_;
+  std::vector<Poi> pois_;
+  PoiTypeRegistry types_;
+  geo::BBox bounds_;
+  spatial::GridIndex index_;
+  FrequencyVector city_freq_;
+  std::vector<int> rank_;
+  std::vector<std::vector<PoiId>> by_type_;
+};
+
+}  // namespace poiprivacy::poi

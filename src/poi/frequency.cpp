@@ -1,0 +1,74 @@
+#include "poi/frequency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <set>
+
+namespace poiprivacy::poi {
+
+FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b) {
+  assert(a.size() == b.size());
+  FrequencyVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::int64_t l1_distance(const FrequencyVector& a, const FrequencyVector& b) {
+  assert(a.size() == b.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(static_cast<std::int64_t>(a[i]) - b[i]);
+  }
+  return acc;
+}
+
+bool dominates(const FrequencyVector& a, const FrequencyVector& b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+std::int64_t total(const FrequencyVector& f) noexcept {
+  std::int64_t acc = 0;
+  for (const std::int32_t n : f) acc += n;
+  return acc;
+}
+
+std::vector<TypeId> top_k_types(const FrequencyVector& f, std::size_t k) {
+  std::vector<TypeId> ids;
+  ids.reserve(f.size());
+  for (TypeId t = 0; t < f.size(); ++t) {
+    if (f[t] > 0) ids.push_back(t);
+  }
+  const std::size_t keep = std::min(k, ids.size());
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(keep), ids.end(),
+                    [&f](TypeId a, TypeId b) {
+                      if (f[a] != f[b]) return f[a] > f[b];
+                      return a < b;
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+double jaccard(std::span<const TypeId> a, std::span<const TypeId> b) {
+  const std::set<TypeId> sa(a.begin(), a.end());
+  const std::set<TypeId> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (const TypeId t : sa) inter += sb.count(t);
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double top_k_jaccard(const FrequencyVector& original,
+                     const FrequencyVector& protected_vec, std::size_t k) {
+  const auto a = top_k_types(original, k);
+  const auto b = top_k_types(protected_vec, k);
+  return jaccard(a, b);
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,43 @@
+// POI type frequency vectors — the aggregate that users release to LBS
+// applications and that the attacks/defenses operate on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "poi/poi.h"
+
+namespace poiprivacy::poi {
+
+/// F(l, r): count of POIs of each type within radius r of location l.
+/// Indexed by TypeId; length is the number of types in the city.
+using FrequencyVector = std::vector<std::int32_t>;
+
+/// a - b elementwise (sizes must match).
+FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b);
+
+/// Sum of |a_i - b_i|.
+std::int64_t l1_distance(const FrequencyVector& a, const FrequencyVector& b);
+
+/// True iff a_i >= b_i for every i. This is the covering test at the heart
+/// of the region re-identification attack: if p lies within r of l then
+/// F(p, 2r) dominates F(l, r) componentwise.
+bool dominates(const FrequencyVector& a, const FrequencyVector& b) noexcept;
+
+/// Total number of POIs counted.
+std::int64_t total(const FrequencyVector& f) noexcept;
+
+/// Type ids of the K largest entries (ties broken by smaller id), only
+/// types with positive frequency. May return fewer than K.
+std::vector<TypeId> top_k_types(const FrequencyVector& f, std::size_t k);
+
+/// Jaccard index |A ∩ B| / |A ∪ B| of two type sets; 1.0 if both empty.
+double jaccard(std::span<const TypeId> a, std::span<const TypeId> b);
+
+/// Top-K Jaccard utility between an original and a protected vector — the
+/// paper's utility metric for the defense mechanisms (Section VI-A).
+double top_k_jaccard(const FrequencyVector& original,
+                     const FrequencyVector& protected_vec, std::size_t k);
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,62 @@
+#include "poi/geojson.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace poiprivacy::poi {
+
+namespace {
+
+void write_lonlat(std::ostream& out, const geo::LocalProjection& projection,
+                  geo::Point p) {
+  const geo::LatLon geo_pt = projection.to_geo(p);
+  out << '[' << geo_pt.lon_deg << ',' << geo_pt.lat_deg << ']';
+}
+
+}  // namespace
+
+void write_geojson(const PoiDatabase& db, geo::LatLon reference,
+                   std::ostream& out) {
+  const geo::LocalProjection projection(reference);
+  out << std::setprecision(10);
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (const Poi& p : db.pois()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+           "\"coordinates\":";
+    write_lonlat(out, projection, p.pos);
+    out << "},\"properties\":{\"id\":" << p.id << ",\"type\":\""
+        << db.types().name(p.type) << "\"}}";
+  }
+  out << "]}";
+}
+
+void write_geojson_circles(std::span<const geo::Circle> circles,
+                           geo::LatLon reference, std::ostream& out,
+                           int segments) {
+  const geo::LocalProjection projection(reference);
+  out << std::setprecision(10);
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (std::size_t c = 0; c < circles.size(); ++c) {
+    if (c > 0) out << ',';
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+           "\"coordinates\":[[";
+    for (int s = 0; s <= segments; ++s) {
+      if (s > 0) out << ',';
+      const double theta =
+          2.0 * M_PI * static_cast<double>(s % segments) / segments;
+      write_lonlat(out, projection,
+                   {circles[c].center.x + circles[c].radius * std::cos(theta),
+                    circles[c].center.y +
+                        circles[c].radius * std::sin(theta)});
+    }
+    out << "]]},\"properties\":{\"radius_km\":" << circles[c].radius
+        << "}}";
+  }
+  out << "]}";
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,26 @@
+// GeoJSON export, so cities, attack results, and uniqueness maps can be
+// inspected in standard GIS tooling (geojson.io, QGIS, kepler.gl). The
+// planar km coordinates are mapped back to WGS84 through a caller-chosen
+// reference point.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "geo/latlon.h"
+#include "poi/database.h"
+
+namespace poiprivacy::poi {
+
+/// Writes the database as a FeatureCollection of Point features with
+/// `type` properties. `reference` anchors the city's (0, 0) corner.
+void write_geojson(const PoiDatabase& db, geo::LatLon reference,
+                   std::ostream& out);
+
+/// Writes a set of circles (e.g. the fine-grained attack's anchor disks)
+/// as Polygon features approximated by `segments`-gons.
+void write_geojson_circles(std::span<const geo::Circle> circles,
+                           geo::LatLon reference, std::ostream& out,
+                           int segments = 32);
+
+}  // namespace poiprivacy::poi

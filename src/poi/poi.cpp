@@ -1,0 +1,16 @@
+#include "poi/poi.h"
+
+#include <algorithm>
+
+namespace poiprivacy::poi {
+
+TypeId PoiTypeRegistry::intern(const std::string& name) {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it != names_.end()) {
+    return static_cast<TypeId>(it - names_.begin());
+  }
+  names_.push_back(name);
+  return static_cast<TypeId>(names_.size() - 1);
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,40 @@
+// Core POI data model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::poi {
+
+using TypeId = std::uint32_t;
+using PoiId = std::uint32_t;
+
+/// A point of interest: a position plus a categorical type (OSM-style
+/// amenity/shop/... category).
+struct Poi {
+  PoiId id = 0;
+  TypeId type = 0;
+  geo::Point pos;
+};
+
+/// Registry of POI type names. Type ids are dense indices [0, size).
+class PoiTypeRegistry {
+ public:
+  PoiTypeRegistry() = default;
+  explicit PoiTypeRegistry(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Returns the id for `name`, interning it if new.
+  TypeId intern(const std::string& name);
+
+  const std::string& name(TypeId id) const { return names_.at(id); }
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace poiprivacy::poi

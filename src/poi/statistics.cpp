@@ -1,0 +1,123 @@
+#include "poi/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "spatial/kdtree.h"
+
+namespace poiprivacy::poi {
+
+TypeCountSummary summarize_type_counts(const PoiDatabase& db) {
+  TypeCountSummary out;
+  const FrequencyVector& counts = db.city_freq();
+  if (counts.empty()) return out;
+  out.min_count = *std::min_element(counts.begin(), counts.end());
+  out.max_count = *std::max_element(counts.begin(), counts.end());
+  const auto total = static_cast<double>(poi::total(counts));
+  out.mean_count = total / static_cast<double>(counts.size());
+  for (const std::int32_t c : counts) {
+    out.singleton_types += c == 1;
+    out.rare_types += c >= 1 && c <= 10;
+  }
+  FrequencyVector sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t decile = std::max<std::size_t>(1, sorted.size() / 10);
+  std::int64_t mass = 0;
+  for (std::size_t i = 0; i < decile; ++i) mass += sorted[i];
+  out.top_decile_mass = static_cast<double>(mass) / total;
+  return out;
+}
+
+namespace {
+
+double mean_nn_of_points(const std::vector<geo::Point>& points) {
+  if (points.size() < 2) return 0.0;
+  const spatial::KdTree tree(points);
+  double acc = 0.0;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    const auto two = tree.k_nearest(points[i], 2);  // self + neighbour
+    acc += geo::distance(points[i], points[two[1]]);
+  }
+  return acc / static_cast<double>(points.size());
+}
+
+}  // namespace
+
+double type_nn_distance(const PoiDatabase& db, TypeId type) {
+  std::vector<geo::Point> points;
+  for (const PoiId id : db.pois_of_type(type)) {
+    points.push_back(db.poi(id).pos);
+  }
+  return mean_nn_of_points(points);
+}
+
+ClusteringSummary summarize_clustering(const PoiDatabase& db) {
+  ClusteringSummary out;
+  std::vector<geo::Point> all;
+  all.reserve(db.pois().size());
+  for (const Poi& p : db.pois()) all.push_back(p.pos);
+  out.mean_nn_km = mean_nn_of_points(all);
+  const double density =
+      static_cast<double>(all.size()) / db.bounds().area();
+  const double expected = density > 0.0 ? 0.5 / std::sqrt(density) : 0.0;
+  out.clark_evans_ratio = expected > 0.0 ? out.mean_nn_km / expected : 0.0;
+
+  double acc = 0.0;
+  std::size_t eligible = 0;
+  for (TypeId t = 0; t < db.num_types(); ++t) {
+    if (db.pois_of_type(t).size() >= 2) {
+      acc += type_nn_distance(db, t);
+      ++eligible;
+    }
+  }
+  out.mean_within_type_nn_km =
+      eligible ? acc / static_cast<double>(eligible) : 0.0;
+  return out;
+}
+
+DensityGrid density_grid(const PoiDatabase& db, double cell_km) {
+  const geo::BBox& bounds = db.bounds();
+  DensityGrid grid;
+  grid.cell_km = cell_km;
+  grid.nx = std::max(1, static_cast<int>(std::ceil(bounds.width() /
+                                                   cell_km)));
+  grid.ny = std::max(1, static_cast<int>(std::ceil(bounds.height() /
+                                                   cell_km)));
+  grid.counts.assign(static_cast<std::size_t>(grid.nx) * grid.ny, 0);
+  for (const Poi& p : db.pois()) {
+    const int ix = std::clamp(
+        static_cast<int>((p.pos.x - bounds.min_x) / cell_km), 0,
+        grid.nx - 1);
+    const int iy = std::clamp(
+        static_cast<int>((p.pos.y - bounds.min_y) / cell_km), 0,
+        grid.ny - 1);
+    ++grid.counts[static_cast<std::size_t>(iy) * grid.nx + ix];
+  }
+  return grid;
+}
+
+std::int32_t DensityGrid::max_count() const {
+  return counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+}
+
+std::string render_density(const DensityGrid& grid) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const std::int32_t top = std::max(1, grid.max_count());
+  std::string out;
+  out.reserve(static_cast<std::size_t>(grid.ny) * (grid.nx + 1));
+  for (int iy = grid.ny - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < grid.nx; ++ix) {
+      const double frac =
+          static_cast<double>(grid.at(ix, iy)) / static_cast<double>(top);
+      const auto step = static_cast<std::size_t>(
+          std::min(9.0, std::floor(frac * 10.0)));
+      out += kRamp[step];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,61 @@
+// City statistics: the spatial-structure diagnostics used to validate the
+// synthetic generator against the properties the paper's attacks depend
+// on (heavy-tailed type counts, citywide clustering, within-type spatial
+// correlation). See examples/city_stats.
+#pragma once
+
+#include <vector>
+
+#include "poi/database.h"
+
+namespace poiprivacy::poi {
+
+struct TypeCountSummary {
+  std::int32_t min_count = 0;
+  std::int32_t max_count = 0;
+  double mean_count = 0.0;
+  std::size_t singleton_types = 0;       ///< citywide count == 1
+  std::size_t rare_types = 0;            ///< citywide count <= 10
+  /// Top-heaviness: fraction of all POIs held by the 10% most common types.
+  double top_decile_mass = 0.0;
+};
+
+TypeCountSummary summarize_type_counts(const PoiDatabase& db);
+
+/// Mean nearest-neighbour distance among POIs of one type (km); 0 for
+/// types with fewer than 2 POIs. Low values = spatially co-located type.
+double type_nn_distance(const PoiDatabase& db, TypeId type);
+
+struct ClusteringSummary {
+  /// Mean nearest-neighbour distance over all POIs (km).
+  double mean_nn_km = 0.0;
+  /// Expected NN distance for a uniform pattern of the same intensity:
+  /// 0.5 / sqrt(density). ratio = mean / expected; << 1 means clustered
+  /// (Clark-Evans index).
+  double clark_evans_ratio = 0.0;
+  /// Mean of type_nn_distance over types with >= 2 POIs (km).
+  double mean_within_type_nn_km = 0.0;
+};
+
+ClusteringSummary summarize_clustering(const PoiDatabase& db);
+
+/// POI counts on a regular grid (row-major, bottom row first) — a
+/// density map for visual inspection.
+struct DensityGrid {
+  int nx = 0;
+  int ny = 0;
+  double cell_km = 0.0;
+  std::vector<std::int32_t> counts;
+
+  std::int32_t at(int ix, int iy) const {
+    return counts[static_cast<std::size_t>(iy) * nx + ix];
+  }
+  std::int32_t max_count() const;
+};
+
+DensityGrid density_grid(const PoiDatabase& db, double cell_km = 1.0);
+
+/// ASCII rendering of the density map with a 10-step ramp.
+std::string render_density(const DensityGrid& grid);
+
+}  // namespace poiprivacy::poi

@@ -1,0 +1,49 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace poiprivacy::spatial {
+
+GridIndex::GridIndex(std::vector<geo::Point> points, geo::BBox bounds,
+                     double cell_km)
+    : points_(std::move(points)), bounds_(bounds), cell_km_(cell_km) {
+  assert(cell_km_ > 0.0);
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds_.width() / cell_km_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds_.height() / cell_km_)));
+  cells_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+  for (std::uint32_t id = 0; id < points_.size(); ++id) {
+    const auto [cx, cy] = cell_of(points_[id]);
+    cells_[cell_index(cx, cy)].push_back(id);
+  }
+}
+
+std::pair<int, int> GridIndex::cell_of(geo::Point p) const noexcept {
+  int cx = static_cast<int>((p.x - bounds_.min_x) / cell_km_);
+  int cy = static_cast<int>((p.y - bounds_.min_y) / cell_km_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return {cx, cy};
+}
+
+std::size_t GridIndex::cell_index(int cx, int cy) const noexcept {
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+         static_cast<std::size_t>(cx);
+}
+
+std::vector<std::uint32_t> GridIndex::query_disk(geo::Point center,
+                                                 double radius) const {
+  std::vector<std::uint32_t> out;
+  for_each_in_disk(center, radius,
+                   [&out](std::uint32_t id, geo::Point) { out.push_back(id); });
+  return out;
+}
+
+std::size_t GridIndex::count_in_disk(geo::Point center, double radius) const {
+  std::size_t n = 0;
+  for_each_in_disk(center, radius, [&n](std::uint32_t, geo::Point) { ++n; });
+  return n;
+}
+
+}  // namespace poiprivacy::spatial

@@ -1,0 +1,62 @@
+// Uniform grid index over 2-D points for fast circular range queries.
+//
+// This is the workhorse behind the GSP's Query(l, r) operation: POI sets
+// per city are static, so a bucketed grid beats tree structures both in
+// build time and in query constant factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::spatial {
+
+class GridIndex {
+ public:
+  /// Builds the index over `points`. `cell_km` chooses the bucket size;
+  /// values near the most common query radius work well.
+  GridIndex(std::vector<geo::Point> points, geo::BBox bounds,
+            double cell_km = 0.5);
+
+  /// Ids (indices into the original vector) of all points within `radius`
+  /// of `center` (inclusive boundary). Order is unspecified.
+  std::vector<std::uint32_t> query_disk(geo::Point center,
+                                        double radius) const;
+
+  /// Calls `fn(id, point)` for each point within the disk.
+  template <typename Fn>
+  void for_each_in_disk(geo::Point center, double radius, Fn&& fn) const {
+    const double r_sq = radius * radius;
+    const auto [cx0, cy0] = cell_of({center.x - radius, center.y - radius});
+    const auto [cx1, cy1] = cell_of({center.x + radius, center.y + radius});
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        for (const std::uint32_t id : cells_[cell_index(cx, cy)]) {
+          const geo::Point p = points_[id];
+          if (geo::distance_sq(p, center) <= r_sq) fn(id, p);
+        }
+      }
+    }
+  }
+
+  /// Number of points within the disk, without materializing ids.
+  std::size_t count_in_disk(geo::Point center, double radius) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const geo::Point& point(std::uint32_t id) const { return points_[id]; }
+  const geo::BBox& bounds() const noexcept { return bounds_; }
+
+ private:
+  std::pair<int, int> cell_of(geo::Point p) const noexcept;
+  std::size_t cell_index(int cx, int cy) const noexcept;
+
+  std::vector<geo::Point> points_;
+  geo::BBox bounds_;
+  double cell_km_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace poiprivacy::spatial

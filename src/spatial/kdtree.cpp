@@ -1,0 +1,95 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace poiprivacy::spatial {
+
+KdTree::KdTree(std::vector<geo::Point> points) : points_(std::move(points)) {
+  std::vector<std::uint32_t> ids(points_.size());
+  for (std::uint32_t i = 0; i < points_.size(); ++i) ids[i] = i;
+  nodes_.reserve(points_.size());
+  if (!ids.empty()) root_ = build(ids, 0, ids.size(), true);
+}
+
+std::int32_t KdTree::build(std::vector<std::uint32_t>& ids, std::size_t lo,
+                           std::size_t hi, bool split_x) {
+  if (lo >= hi) return -1;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return split_x ? points_[a].x < points_[b].x
+                                    : points_[a].y < points_[b].y;
+                   });
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({ids[mid], -1, -1, split_x});
+  const std::int32_t left = build(ids, lo, mid, !split_x);
+  const std::int32_t right = build(ids, mid + 1, hi, !split_x);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+void KdTree::nearest_rec(std::int32_t node, geo::Point query,
+                         std::uint32_t& best_id, double& best_d2) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const geo::Point p = points_[n.id];
+  const double d2 = geo::distance_sq(p, query);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best_id = n.id;
+  }
+  const double delta = n.split_x ? query.x - p.x : query.y - p.y;
+  const std::int32_t near_child = delta < 0 ? n.left : n.right;
+  const std::int32_t far_child = delta < 0 ? n.right : n.left;
+  nearest_rec(near_child, query, best_id, best_d2);
+  if (delta * delta < best_d2) nearest_rec(far_child, query, best_id, best_d2);
+}
+
+std::optional<std::uint32_t> KdTree::nearest(geo::Point query) const {
+  if (root_ < 0) return std::nullopt;
+  std::uint32_t best_id = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  nearest_rec(root_, query, best_id, best_d2);
+  return best_id;
+}
+
+void KdTree::k_nearest_rec(
+    std::int32_t node, geo::Point query, std::size_t k,
+    std::vector<std::pair<double, std::uint32_t>>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const geo::Point p = points_[n.id];
+  const double d2 = geo::distance_sq(p, query);
+  if (heap.size() < k) {
+    heap.emplace_back(d2, n.id);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, n.id};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const double delta = n.split_x ? query.x - p.x : query.y - p.y;
+  const std::int32_t near_child = delta < 0 ? n.left : n.right;
+  const std::int32_t far_child = delta < 0 ? n.right : n.left;
+  k_nearest_rec(near_child, query, k, heap);
+  if (heap.size() < k || delta * delta < heap.front().first) {
+    k_nearest_rec(far_child, query, k, heap);
+  }
+}
+
+std::vector<std::uint32_t> KdTree::k_nearest(geo::Point query,
+                                             std::size_t k) const {
+  std::vector<std::pair<double, std::uint32_t>> heap;
+  if (root_ >= 0 && k > 0) k_nearest_rec(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
+}
+
+}  // namespace poiprivacy::spatial

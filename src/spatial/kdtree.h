@@ -1,0 +1,47 @@
+// Static 2-D k-d tree for nearest-neighbour lookups (used to snap
+// check-ins to POIs and by dataset diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::spatial {
+
+class KdTree {
+ public:
+  explicit KdTree(std::vector<geo::Point> points);
+
+  /// Id of the closest point, or nullopt if the tree is empty.
+  std::optional<std::uint32_t> nearest(geo::Point query) const;
+
+  /// Ids of the k closest points (fewer if the tree is smaller), closest
+  /// first.
+  std::vector<std::uint32_t> k_nearest(geo::Point query, std::size_t k) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const geo::Point& point(std::uint32_t id) const { return points_[id]; }
+
+ private:
+  struct Node {
+    std::uint32_t id = 0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    bool split_x = true;
+  };
+
+  std::int32_t build(std::vector<std::uint32_t>& ids, std::size_t lo,
+                     std::size_t hi, bool split_x);
+  void nearest_rec(std::int32_t node, geo::Point query,
+                   std::uint32_t& best_id, double& best_d2) const;
+  void k_nearest_rec(std::int32_t node, geo::Point query, std::size_t k,
+                     std::vector<std::pair<double, std::uint32_t>>& heap) const;
+
+  std::vector<geo::Point> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace poiprivacy::spatial

@@ -1,0 +1,155 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poiprivacy::spatial {
+
+namespace {
+
+geo::BBox bbox_of_points(const std::vector<geo::Point>& points,
+                         const std::vector<std::uint32_t>& ids,
+                         std::size_t lo, std::size_t hi) {
+  geo::BBox box{points[ids[lo]].x, points[ids[lo]].y, points[ids[lo]].x,
+                points[ids[lo]].y};
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const geo::Point p = points[ids[i]];
+    box.min_x = std::min(box.min_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_x = std::max(box.max_x, p.x);
+    box.max_y = std::max(box.max_y, p.y);
+  }
+  return box;
+}
+
+geo::BBox merge(const geo::BBox& a, const geo::BBox& b) {
+  return {std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+          std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+bool box_intersects(const geo::BBox& a, const geo::BBox& b) {
+  return a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y &&
+         b.min_y <= a.max_y;
+}
+
+}  // namespace
+
+RTree::RTree(std::vector<geo::Point> points, std::size_t leaf_capacity)
+    : points_(std::move(points)) {
+  const std::size_t n = points_.size();
+  if (n == 0) return;
+  leaf_capacity = std::max<std::size_t>(1, leaf_capacity);
+
+  // STR packing: sort by x, slice into vertical strips of
+  // ceil(sqrt(num_leaves)) leaves, sort each strip by y, cut into leaves.
+  order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+  const auto num_leaves =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) /
+                                         static_cast<double>(leaf_capacity)));
+  const auto strips = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t strip_size =
+      (n + strips - 1) / strips;  // points per strip
+
+  std::sort(order_.begin(), order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return points_[a].x < points_[b].x;
+            });
+  std::vector<std::int32_t> level;  // node indices of the current level
+  for (std::size_t s = 0; s < n; s += strip_size) {
+    const std::size_t strip_end = std::min(n, s + strip_size);
+    std::sort(order_.begin() + static_cast<std::ptrdiff_t>(s),
+              order_.begin() + static_cast<std::ptrdiff_t>(strip_end),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return points_[a].y < points_[b].y;
+              });
+    for (std::size_t leaf = s; leaf < strip_end; leaf += leaf_capacity) {
+      const std::size_t leaf_end = std::min(strip_end, leaf + leaf_capacity);
+      Node node;
+      node.box = bbox_of_points(points_, order_, leaf, leaf_end);
+      node.first_point = static_cast<std::int32_t>(leaf);
+      node.point_count = static_cast<std::int32_t>(leaf_end - leaf);
+      level.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+  }
+  height_ = 1;
+
+  // Pack parents bottom-up; internal fanout must be at least 2 or the
+  // level count would never shrink.
+  const std::size_t fanout = std::max<std::size_t>(2, leaf_capacity);
+  while (level.size() > 1) {
+    std::vector<std::int32_t> parents;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      const std::size_t end = std::min(level.size(), i + fanout);
+      Node node;
+      node.box = nodes_[static_cast<std::size_t>(level[i])].box;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        node.box = merge(node.box,
+                         nodes_[static_cast<std::size_t>(level[j])].box);
+      }
+      node.first_child = level[static_cast<std::size_t>(i)];
+      node.child_count = static_cast<std::int32_t>(end - i);
+      parents.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+void RTree::query_disk_rec(std::int32_t node, geo::Point center,
+                           double radius,
+                           std::vector<std::uint32_t>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (!n.box.intersects_disk(center, radius)) return;
+  if (n.first_child < 0) {
+    const double r_sq = radius * radius;
+    for (std::int32_t i = 0; i < n.point_count; ++i) {
+      const std::uint32_t id =
+          order_[static_cast<std::size_t>(n.first_point + i)];
+      if (geo::distance_sq(points_[id], center) <= r_sq) out.push_back(id);
+    }
+    return;
+  }
+  // STR packing stores a parent's children contiguously in level order,
+  // which is NOT contiguous in nodes_ across strips; child ids are
+  // consecutive because each level is appended in order.
+  for (std::int32_t c = 0; c < n.child_count; ++c) {
+    query_disk_rec(n.first_child + c, center, radius, out);
+  }
+}
+
+void RTree::query_box_rec(std::int32_t node, const geo::BBox& box,
+                          std::vector<std::uint32_t>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (!box_intersects(n.box, box)) return;
+  if (n.first_child < 0) {
+    for (std::int32_t i = 0; i < n.point_count; ++i) {
+      const std::uint32_t id =
+          order_[static_cast<std::size_t>(n.first_point + i)];
+      if (box.contains(points_[id])) out.push_back(id);
+    }
+    return;
+  }
+  for (std::int32_t c = 0; c < n.child_count; ++c) {
+    query_box_rec(n.first_child + c, box, out);
+  }
+}
+
+std::vector<std::uint32_t> RTree::query_disk(geo::Point center,
+                                             double radius) const {
+  std::vector<std::uint32_t> out;
+  if (root_ >= 0) query_disk_rec(root_, center, radius, out);
+  return out;
+}
+
+std::vector<std::uint32_t> RTree::query_box(const geo::BBox& box) const {
+  std::vector<std::uint32_t> out;
+  if (root_ >= 0) query_box_rec(root_, box, out);
+  return out;
+}
+
+}  // namespace poiprivacy::spatial

@@ -1,0 +1,52 @@
+// Static R-tree over 2-D points, bulk-loaded with Sort-Tile-Recursive
+// (STR) packing. An alternative to the uniform grid for skewed point
+// sets; `bench/micro_core` compares the two on the city workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::spatial {
+
+class RTree {
+ public:
+  /// Bulk-loads the tree; `leaf_capacity` points per leaf.
+  explicit RTree(std::vector<geo::Point> points,
+                 std::size_t leaf_capacity = 16);
+
+  /// Ids of points within `radius` of `center` (inclusive).
+  std::vector<std::uint32_t> query_disk(geo::Point center,
+                                        double radius) const;
+
+  /// Ids of points inside `box` (inclusive).
+  std::vector<std::uint32_t> query_box(const geo::BBox& box) const;
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const geo::Point& point(std::uint32_t id) const { return points_[id]; }
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  int height() const noexcept { return height_; }
+
+ private:
+  struct Node {
+    geo::BBox box;
+    std::int32_t first_child = -1;  ///< index into nodes_, or -1 for leaf
+    std::int32_t child_count = 0;
+    std::int32_t first_point = 0;   ///< leaf: offset into order_
+    std::int32_t point_count = 0;
+  };
+
+  void query_disk_rec(std::int32_t node, geo::Point center, double radius,
+                      std::vector<std::uint32_t>& out) const;
+  void query_box_rec(std::int32_t node, const geo::BBox& box,
+                     std::vector<std::uint32_t>& out) const;
+
+  std::vector<geo::Point> points_;
+  std::vector<std::uint32_t> order_;  ///< point ids grouped by leaf
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace poiprivacy::spatial

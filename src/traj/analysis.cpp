@@ -1,0 +1,80 @@
+#include "traj/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poiprivacy::traj {
+
+TrajectoryStats analyze(const Trajectory& trajectory) {
+  TrajectoryStats stats;
+  const auto& points = trajectory.points;
+  if (points.size() < 2) return stats;
+
+  double weighted_speed = 0.0;
+  double moving_time = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double km = geo::distance(points[i].pos, points[i - 1].pos);
+    const double hours =
+        static_cast<double>(points[i].time - points[i - 1].time) / 3600.0;
+    stats.total_distance_km += km;
+    if (hours > 0.0) {
+      const double speed = km / hours;
+      stats.max_segment_speed_kmh = std::max(stats.max_segment_speed_kmh,
+                                             speed);
+      weighted_speed += km;
+      moving_time += hours;
+    }
+  }
+  stats.duration_hours =
+      static_cast<double>(points.back().time - points.front().time) / 3600.0;
+  stats.mean_speed_kmh = moving_time > 0.0 ? weighted_speed / moving_time
+                                           : 0.0;
+
+  geo::Point centroid{0.0, 0.0};
+  for (const TrackPoint& p : points) {
+    centroid.x += p.pos.x;
+    centroid.y += p.pos.y;
+  }
+  centroid.x /= static_cast<double>(points.size());
+  centroid.y /= static_cast<double>(points.size());
+  double acc = 0.0;
+  for (const TrackPoint& p : points) {
+    acc += geo::distance_sq(p.pos, centroid);
+  }
+  stats.radius_of_gyration_km =
+      std::sqrt(acc / static_cast<double>(points.size()));
+  return stats;
+}
+
+std::vector<StayPoint> detect_stay_points(const Trajectory& trajectory,
+                                          double radius_km,
+                                          TimeSec min_dwell) {
+  std::vector<StayPoint> out;
+  const auto& points = trajectory.points;
+  std::size_t i = 0;
+  while (i < points.size()) {
+    // Extend the run while fixes stay within radius of the run's start.
+    std::size_t j = i + 1;
+    while (j < points.size() &&
+           geo::distance(points[j].pos, points[i].pos) <= radius_km) {
+      ++j;
+    }
+    const TimeSec dwell = points[j - 1].time - points[i].time;
+    if (j > i + 1 && dwell >= min_dwell) {
+      geo::Point center{0.0, 0.0};
+      for (std::size_t k = i; k < j; ++k) {
+        center.x += points[k].pos.x;
+        center.y += points[k].pos.y;
+      }
+      const auto n = static_cast<double>(j - i);
+      out.push_back(
+          {{center.x / n, center.y / n}, points[i].time, points[j - 1].time});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::traj

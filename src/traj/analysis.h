@@ -1,0 +1,38 @@
+// Trajectory analytics: the mobility statistics used to sanity-check the
+// synthetic traces against real-trace behaviour (speeds, coverage) and to
+// derive check-in-like events from continuous traces.
+#pragma once
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace poiprivacy::traj {
+
+struct TrajectoryStats {
+  double total_distance_km = 0.0;
+  double duration_hours = 0.0;
+  double mean_speed_kmh = 0.0;       ///< over moving segments
+  double max_segment_speed_kmh = 0.0;
+  double radius_of_gyration_km = 0.0;
+};
+
+/// Basic per-trajectory statistics; zeroes for fewer than two points.
+TrajectoryStats analyze(const Trajectory& trajectory);
+
+struct StayPoint {
+  geo::Point center;
+  TimeSec arrival = 0;
+  TimeSec departure = 0;
+
+  TimeSec dwell() const noexcept { return departure - arrival; }
+};
+
+/// Stay-point detection (Li et al., GIS'08 style): a maximal run of fixes
+/// within `radius_km` of its first fix lasting at least `min_dwell`
+/// becomes a stay point at the run's centroid.
+std::vector<StayPoint> detect_stay_points(const Trajectory& trajectory,
+                                          double radius_km = 0.2,
+                                          TimeSec min_dwell = 20 * 60);
+
+}  // namespace poiprivacy::traj

@@ -1,0 +1,134 @@
+#include "traj/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace poiprivacy::traj {
+
+namespace {
+
+/// A cluster-biased point: mostly near a hot cluster, sometimes uniform.
+geo::Point cluster_biased_point(const poi::City& city, common::Rng& rng) {
+  const geo::BBox& b = city.db.bounds();
+  const poi::CityLayout& layout = city.layout;
+  if (layout.cluster_centers.empty() || rng.bernoulli(0.2)) {
+    return {rng.uniform(b.min_x, b.max_x), rng.uniform(b.min_y, b.max_y)};
+  }
+  const std::size_t c = rng.categorical(layout.cluster_weights);
+  const double sigma = layout.cluster_sigmas_km[c];
+  return b.clamp({layout.cluster_centers[c].x + rng.normal(0.0, sigma),
+                  layout.cluster_centers[c].y + rng.normal(0.0, sigma)});
+}
+
+}  // namespace
+
+std::vector<Trajectory> generate_taxi_trajectories(const poi::City& city,
+                                                   const TaxiConfig& config,
+                                                   common::Rng& rng) {
+  const geo::BBox& bounds = city.db.bounds();
+  std::vector<Trajectory> out;
+  out.reserve(config.num_taxis);
+  for (std::uint32_t taxi = 0; taxi < config.num_taxis; ++taxi) {
+    Trajectory t;
+    t.user_id = taxi;
+    geo::Point pos = cluster_biased_point(city, rng);
+    geo::Point waypoint = cluster_biased_point(city, rng);
+    TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
+    for (std::size_t i = 0; i < config.points_per_taxi; ++i) {
+      t.points.push_back({pos, now});
+      const TimeSec gap =
+          rng.uniform_int(config.min_sample_gap, config.max_sample_gap);
+      const double speed_kms =
+          rng.uniform(config.min_speed_kmh, config.max_speed_kmh) / 3600.0;
+      double travel = speed_kms * static_cast<double>(gap);
+      // Advance towards the waypoint, re-targeting when reached.
+      while (travel > 1e-9) {
+        const double remaining = geo::distance(pos, waypoint);
+        if (remaining <= travel) {
+          pos = waypoint;
+          travel -= remaining;
+          waypoint = cluster_biased_point(city, rng);
+        } else {
+          const double f = travel / remaining;
+          pos = {pos.x + (waypoint.x - pos.x) * f,
+                 pos.y + (waypoint.y - pos.y) * f};
+          travel = 0.0;
+        }
+      }
+      pos = bounds.clamp({pos.x + rng.normal(0.0, config.path_jitter_km),
+                          pos.y + rng.normal(0.0, config.path_jitter_km)});
+      now += gap;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trajectory> generate_checkins(const poi::City& city,
+                                          const CheckinConfig& config,
+                                          common::Rng& rng) {
+  const auto& pois = city.db.pois();
+  assert(!pois.empty());
+  const geo::BBox& bounds = city.db.bounds();
+  std::vector<Trajectory> out;
+  out.reserve(config.num_users);
+  for (std::uint32_t user = 0; user < config.num_users; ++user) {
+    Trajectory t;
+    t.user_id = user;
+    TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
+    for (std::size_t i = 0; i < config.checkins_per_user; ++i) {
+      // Uniform over POIs == density-biased over space, mimicking the
+      // popularity skew of real check-ins.
+      const auto& venue = pois[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pois.size()) - 1))];
+      const geo::Point pos = bounds.clamp(
+          {venue.pos.x + rng.normal(0.0, config.position_noise_km),
+           venue.pos.y + rng.normal(0.0, config.position_noise_km)});
+      t.points.push_back({pos, now});
+      now += rng.uniform_int(config.min_gap, config.max_gap);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<geo::Point> sample_locations(
+    const std::vector<Trajectory>& trajectories, std::size_t count,
+    common::Rng& rng) {
+  std::vector<geo::Point> pool;
+  for (const Trajectory& t : trajectories) {
+    for (const TrackPoint& p : t.points) pool.push_back(p.pos);
+  }
+  if (pool.empty()) return {};
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  if (count >= pool.size()) {
+    out = pool;
+    rng.shuffle(out);
+    return out;
+  }
+  for (const std::size_t idx : rng.sample_indices(pool.size(), count)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+std::vector<ReleasePair> extract_release_pairs(
+    const std::vector<Trajectory>& trajectories, const poi::PoiDatabase& db,
+    double radius_km, TimeSec max_gap) {
+  std::vector<ReleasePair> out;
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 0; i + 1 < t.points.size(); ++i) {
+      const TrackPoint& a = t.points[i];
+      const TrackPoint& b = t.points[i + 1];
+      const TimeSec gap = b.time - a.time;
+      if (gap <= 0 || gap > max_gap) continue;
+      if (db.freq(a.pos, radius_km) == db.freq(b.pos, radius_km)) continue;
+      out.push_back({a.pos, b.pos, a.time, b.time});
+    }
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::traj

@@ -1,0 +1,82 @@
+// Synthetic user-location data sources standing in for the paper's
+// real-world traces (see DESIGN.md, Substitutions):
+//
+//   * TaxiTrajectoryGenerator  — T-drive-style taxi trajectories in the
+//     Beijing model: waypoint movement between hot clusters at realistic
+//     speeds, sampled every 1-5 minutes.
+//   * CheckinGenerator         — Foursquare-style check-in sequences in
+//     the NYC model: locations snap to (noisy neighbourhoods of) POIs,
+//     with hour-scale gaps between check-ins.
+//
+// Both produce locations biased towards dense POI areas, which is why —
+// as the paper observes — the attacks do better on real traces than on
+// uniformly random locations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "traj/trajectory.h"
+
+namespace poiprivacy::traj {
+
+struct TaxiConfig {
+  std::size_t num_taxis = 100;
+  std::size_t points_per_taxi = 60;
+  double min_speed_kmh = 20.0;
+  double max_speed_kmh = 50.0;
+  TimeSec min_sample_gap = 60;    ///< seconds between consecutive fixes
+  TimeSec max_sample_gap = 300;
+  /// Gaussian jitter (km) applied around the straight waypoint path, a
+  /// cheap stand-in for road-network deviation.
+  double path_jitter_km = 0.08;
+};
+
+/// Generates taxi trajectories over the given city layout.
+std::vector<Trajectory> generate_taxi_trajectories(
+    const poi::City& city, const TaxiConfig& config, common::Rng& rng);
+
+struct CheckinConfig {
+  std::size_t num_users = 100;
+  std::size_t checkins_per_user = 30;
+  /// Check-in positions are POI positions plus this Gaussian noise (km).
+  double position_noise_km = 0.1;
+  TimeSec min_gap = 30 * 60;        ///< 30 minutes
+  TimeSec max_gap = 8 * 3600;       ///< 8 hours
+};
+
+/// Generates check-in sequences (each user's check-ins form a Trajectory).
+std::vector<Trajectory> generate_checkins(const poi::City& city,
+                                          const CheckinConfig& config,
+                                          common::Rng& rng);
+
+/// Flattens trajectories into a plain location sample (used when a figure
+/// needs "locations from dataset X" rather than full trajectories).
+std::vector<geo::Point> sample_locations(
+    const std::vector<Trajectory>& trajectories, std::size_t count,
+    common::Rng& rng);
+
+/// A pair of successive aggregate releases from one trajectory — the unit
+/// the trajectory-uniqueness attack works on. The paper keeps pairs whose
+/// frequency vectors differ and whose gap is below 10 minutes.
+struct ReleasePair {
+  geo::Point first;
+  geo::Point second;
+  TimeSec first_time = 0;
+  TimeSec second_time = 0;
+
+  TimeSec duration() const noexcept { return second_time - first_time; }
+  double distance_km() const noexcept {
+    return geo::distance(first, second);
+  }
+};
+
+/// Extracts qualifying successive-release pairs from trajectories:
+/// duration in (0, max_gap] and Freq(first, r) != Freq(second, r).
+std::vector<ReleasePair> extract_release_pairs(
+    const std::vector<Trajectory>& trajectories, const poi::PoiDatabase& db,
+    double radius_km, TimeSec max_gap = 10 * 60);
+
+}  // namespace poiprivacy::traj

@@ -1,0 +1,21 @@
+#include "traj/trajectory.h"
+
+namespace poiprivacy::traj {
+
+namespace {
+TimeSec mod_floor(TimeSec value, TimeSec modulus) noexcept {
+  TimeSec m = value % modulus;
+  if (m < 0) m += modulus;
+  return m;
+}
+}  // namespace
+
+int hour_of_day(TimeSec t) noexcept {
+  return static_cast<int>(mod_floor(t, kSecondsPerDay) / kSecondsPerHour);
+}
+
+int day_of_week(TimeSec t) noexcept {
+  return static_cast<int>(mod_floor(t, kSecondsPerWeek) / kSecondsPerDay);
+}
+
+}  // namespace poiprivacy::traj

@@ -1,0 +1,36 @@
+// Trajectory data model: timestamped location sequences, the input to the
+// trajectory-uniqueness attack (Section IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::traj {
+
+/// Seconds since an arbitrary epoch (the generators use Monday 00:00 so
+/// hour-of-day / day-of-week features are straightforward).
+using TimeSec = std::int64_t;
+
+constexpr TimeSec kSecondsPerHour = 3600;
+constexpr TimeSec kSecondsPerDay = 24 * kSecondsPerHour;
+constexpr TimeSec kSecondsPerWeek = 7 * kSecondsPerDay;
+
+struct TrackPoint {
+  geo::Point pos;
+  TimeSec time = 0;
+};
+
+struct Trajectory {
+  std::uint32_t user_id = 0;
+  std::vector<TrackPoint> points;
+};
+
+/// Hour of day in [0, 24) for a timestamp.
+int hour_of_day(TimeSec t) noexcept;
+
+/// Day of week in [0, 7), 0 = Monday.
+int day_of_week(TimeSec t) noexcept;
+
+}  // namespace poiprivacy::traj

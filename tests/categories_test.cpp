@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "attack/region_reid.h"
+#include "poi/categories.h"
+#include "poi/city_model.h"
+
+namespace poiprivacy::poi {
+namespace {
+
+City make_city() { return generate_city(test_preset(), 7); }
+
+TEST(Categories, NamesResolveToTheirCategory) {
+  EXPECT_EQ(category_of("beijing/food_3"), Category::kFood);
+  EXPECT_EQ(category_of("nyc/transport_120"), Category::kTransport);
+  EXPECT_EQ(category_of("nature_9"), Category::kNature);
+  EXPECT_EQ(category_of("leisure-2"), Category::kLeisure);
+}
+
+TEST(Categories, UnknownNamesFallBackDeterministically) {
+  const Category a = category_of("mystery_place");
+  const Category b = category_of("mystery_place");
+  EXPECT_EQ(a, b);
+  EXPECT_LT(static_cast<std::size_t>(a), kNumCategories);
+}
+
+TEST(Categories, PrefixMustBeDelimited) {
+  // "foodie_1" must not be classified as kFood by accident; whatever the
+  // hash fallback picks, it must be stable.
+  EXPECT_EQ(category_of("foodie_1"), category_of("foodie_1"));
+}
+
+TEST(Categories, GeneratedCityCoversAllCategories) {
+  const City city = make_city();
+  const std::vector<Category> mapping = categorize(city.db.types());
+  EXPECT_EQ(mapping.size(), city.db.num_types());
+  std::vector<bool> seen(kNumCategories, false);
+  for (const Category c : mapping) {
+    seen[static_cast<std::size_t>(c)] = true;
+  }
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    EXPECT_TRUE(seen[c]) << kCategoryNames[c];
+  }
+}
+
+TEST(Categories, CollapsePreservesTotal) {
+  const City city = make_city();
+  const std::vector<Category> mapping = categorize(city.db.types());
+  const FrequencyVector f = city.db.freq({4.0, 4.0}, 1.5);
+  const FrequencyVector collapsed = collapse(f, mapping);
+  EXPECT_EQ(collapsed.size(), kNumCategories);
+  EXPECT_EQ(total(collapsed), total(f));
+}
+
+TEST(Categories, CategoryViewPreservesGeometry) {
+  const City city = make_city();
+  const PoiDatabase view = category_view(city.db);
+  EXPECT_EQ(view.pois().size(), city.db.pois().size());
+  EXPECT_EQ(view.num_types(), kNumCategories);
+  for (std::size_t i = 0; i < view.pois().size(); ++i) {
+    EXPECT_EQ(view.pois()[i].pos, city.db.pois()[i].pos);
+  }
+  EXPECT_EQ(total(view.city_freq()),
+            static_cast<std::int64_t>(city.db.pois().size()));
+}
+
+TEST(Categories, ViewFreqEqualsCollapsedFreq) {
+  const City city = make_city();
+  const PoiDatabase view = category_view(city.db);
+  const std::vector<Category> mapping = categorize(city.db.types());
+  common::Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.3, 2.0);
+    EXPECT_EQ(view.freq(l, r), collapse(city.db.freq(l, r), mapping));
+  }
+}
+
+TEST(Categories, CategoryReleaseDefeatsTheBaselineAttack) {
+  // With only 10 ubiquitous categories there is no rare pivot left; the
+  // attack should essentially never isolate a unique candidate.
+  const City city = make_city();
+  const PoiDatabase view = category_view(city.db);
+  const attack::RegionReidentifier reid(view);
+  common::Rng rng(5);
+  int successes = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = 0.8;
+    successes += attack::attack_success(reid.infer(view.freq(l, r), r),
+                                        view, l, r);
+  }
+  EXPECT_LE(successes, trials / 10);
+}
+
+}  // namespace
+}  // namespace poiprivacy::poi

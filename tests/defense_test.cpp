@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "attack/region_reid.h"
+#include "cloak/kcloak.h"
+#include "common/rng.h"
+#include "defense/location_defenses.h"
+#include "defense/opt_defense.h"
+#include "defense/sanitizer.h"
+#include "poi/city_model.h"
+
+namespace poiprivacy::defense {
+namespace {
+
+poi::City make_city(std::uint64_t seed = 7) {
+  return poi::generate_city(poi::test_preset(), seed);
+}
+
+cloak::AdaptiveIntervalCloaker make_cloaker(const poi::PoiDatabase& db,
+                                            std::size_t users,
+                                            std::uint64_t seed) {
+  common::Rng rng(seed);
+  return cloak::AdaptiveIntervalCloaker(
+      cloak::uniform_population(db.bounds(), users, rng), db.bounds());
+}
+
+TEST(Sanitizer, SelectsExactlyTheRareTypes) {
+  const poi::City city = make_city();
+  const Sanitizer sanitizer(city.db, 10);
+  for (const poi::TypeId t : sanitizer.sanitized_types()) {
+    EXPECT_LE(city.db.city_freq()[t], 10);
+  }
+  for (poi::TypeId t = 0; t < city.db.num_types(); ++t) {
+    EXPECT_EQ(sanitizer.is_sanitized(t),
+              city.db.city_freq()[t] > 0 && city.db.city_freq()[t] <= 10);
+  }
+}
+
+TEST(Sanitizer, ZeroesOnlySanitizedEntries) {
+  const poi::City city = make_city();
+  const Sanitizer sanitizer(city.db, 10);
+  const poi::FrequencyVector truth = city.db.freq({4.0, 4.0}, 1.0);
+  const poi::FrequencyVector sanitized = sanitizer.sanitize(truth);
+  for (poi::TypeId t = 0; t < truth.size(); ++t) {
+    if (sanitizer.is_sanitized(t)) {
+      EXPECT_EQ(sanitized[t], 0);
+    } else {
+      EXPECT_EQ(sanitized[t], truth[t]);
+    }
+  }
+}
+
+TEST(Sanitizer, ThresholdZeroSanitizesNothing) {
+  const poi::City city = make_city();
+  const Sanitizer sanitizer(city.db, 0);
+  EXPECT_TRUE(sanitizer.sanitized_types().empty());
+  const poi::FrequencyVector truth = city.db.freq({4.0, 4.0}, 1.0);
+  EXPECT_EQ(sanitizer.sanitize(truth), truth);
+}
+
+TEST(GeoInd, ReleaseIsFreqAtPerturbedLocation) {
+  const poi::City city = make_city();
+  const GeoIndDefense defense(city.db, 0.5, 0.1);
+  common::Rng rng_a(3);
+  common::Rng rng_b(3);
+  const geo::Point l{4.0, 4.0};
+  const geo::Point perturbed = defense.perturb(l, rng_a);
+  EXPECT_EQ(defense.release(l, 1.0, rng_b), city.db.freq(perturbed, 1.0));
+}
+
+TEST(GeoInd, SmallerEpsilonDisplacesFurther) {
+  const poi::City city = make_city();
+  const GeoIndDefense strong(city.db, 0.1, 0.1);   // eps_per_km = 1
+  const GeoIndDefense weak(city.db, 1.0, 0.1);     // eps_per_km = 10
+  common::Rng rng(5);
+  double strong_mean = 0.0;
+  double weak_mean = 0.0;
+  const geo::Point l{4.0, 4.0};
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    strong_mean += geo::distance(l, strong.perturb(l, rng));
+    weak_mean += geo::distance(l, weak.perturb(l, rng));
+  }
+  EXPECT_GT(strong_mean / n, 5.0 * (weak_mean / n));
+}
+
+TEST(KCloak, ReleaseUsesCloakedRegionCenter) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db, 500, 7);
+  const KCloakDefense defense(city.db, cloaker, 10);
+  const geo::Point l{3.0, 5.0};
+  const cloak::CloakResult cloaked = cloaker.cloak(l, 10);
+  EXPECT_EQ(defense.release(l, 1.0),
+            city.db.freq(cloaked.region.center(), 1.0));
+}
+
+TEST(OptimizationDefense, PerturbsRareTypesUnderBudget) {
+  const poi::City city = make_city();
+  const OptimizationDefense defense(city.db, 0.05);
+  const poi::FrequencyVector truth = city.db.freq({4.0, 4.0}, 1.5);
+  const poi::FrequencyVector released = defense.release(truth);
+  ASSERT_EQ(released.size(), truth.size());
+  // Budget respected.
+  std::vector<double> base(truth.begin(), truth.end());
+  EXPECT_LE(opt::mean_relative_distortion(base, released), 0.05 + 1e-9);
+  for (const auto v : released) EXPECT_GE(v, 0);
+}
+
+TEST(OptimizationDefense, BetaZeroIsIdentity) {
+  const poi::City city = make_city();
+  const OptimizationDefense defense(city.db, 0.0);
+  const poi::FrequencyVector truth = city.db.freq({4.0, 4.0}, 1.5);
+  EXPECT_EQ(defense.release(truth), truth);
+}
+
+TEST(OptimizationDefense, UtilityDegradesGracefully) {
+  const poi::City city = make_city();
+  common::Rng rng(11);
+  for (const double beta : {0.01, 0.03, 0.05}) {
+    const OptimizationDefense defense(city.db, beta);
+    double jaccard = 0.0;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+      const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+      const poi::FrequencyVector truth = city.db.freq(l, 1.5);
+      jaccard += poi::top_k_jaccard(truth, defense.release(truth), 10);
+    }
+    // The optimizer spends its budget on rare types, which are seldom in
+    // the top 10, so utility stays high.
+    EXPECT_GT(jaccard / n, 0.6) << "beta " << beta;
+  }
+}
+
+TEST(DpDefense, NoisedMeanTracksDummyMean) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db, 800, 13);
+  DpDefenseConfig config;
+  config.epsilon = 50.0;  // nearly noiseless: mean must dominate
+  config.k = 10;
+  const DpDefense defense(city.db, cloaker, config);
+  common::Rng rng(17);
+  const geo::Point l{4.0, 4.0};
+  const std::vector<double> mean = defense.noised_mean(l, 1.0, rng);
+  ASSERT_EQ(mean.size(), city.db.num_types());
+  // With eps=50 the noise is tiny; the mean of k vectors of nonnegative
+  // counts stays in a plausible envelope.
+  for (const double v : mean) {
+    EXPECT_GT(v, -1.0);
+    EXPECT_LT(v, 1e4);
+  }
+}
+
+TEST(DpDefense, ReleaseIsNonNegativeIntegerVector) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db, 800, 19);
+  DpDefenseConfig config;
+  config.epsilon = 1.0;
+  const DpDefense defense(city.db, cloaker, config);
+  common::Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const poi::FrequencyVector released = defense.release(l, 1.0, rng);
+    ASSERT_EQ(released.size(), city.db.num_types());
+    for (const auto v : released) EXPECT_GE(v, 0);
+  }
+}
+
+TEST(DpDefense, MoreBudgetMeansLessNoise) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db, 800, 29);
+  common::Rng rng(31);
+  const geo::Point l{4.0, 4.0};
+  // Compare the distance between the noised mean and the true dummy mean
+  // under small and large epsilon (same dummy draw via forked rngs).
+  DpDefenseConfig tight;
+  tight.epsilon = 0.2;
+  DpDefenseConfig loose;
+  loose.epsilon = 5.0;
+  const DpDefense defense_tight(city.db, cloaker, tight);
+  const DpDefense defense_loose(city.db, cloaker, loose);
+  double tight_disp = 0.0;
+  double loose_disp = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    common::Rng rng_a(1000 + i);
+    common::Rng rng_b(1000 + i);
+    const auto mean_tight = defense_tight.noised_mean(l, 1.0, rng_a);
+    const auto mean_loose = defense_loose.noised_mean(l, 1.0, rng_b);
+    for (std::size_t t = 0; t < mean_tight.size(); ++t) {
+      tight_disp += std::abs(mean_tight[t]);
+      loose_disp += std::abs(mean_loose[t]);
+    }
+  }
+  // More noise adds absolute mass to the (mostly zero) mean vector.
+  EXPECT_GT(tight_disp, loose_disp);
+}
+
+TEST(DpDefense, MitigatesAttackRelativeToNoDefense) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db, 800, 37);
+  DpDefenseConfig config;
+  config.epsilon = 0.5;
+  config.beta = 0.03;
+  const DpDefense defense(city.db, cloaker, config);
+  const attack::RegionReidentifier reid(city.db);
+  common::Rng rng(41);
+  int base_success = 0;
+  int protected_success = 0;
+  const int trials = 120;
+  const double r = 0.8;
+  for (int i = 0; i < trials; ++i) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    base_success +=
+        attack::attack_success(reid.infer(city.db.freq(l, r), r), city.db, l, r);
+    protected_success += attack::attack_success(
+        reid.infer(defense.release(l, r, rng), r), city.db, l, r);
+  }
+  EXPECT_LT(protected_success, base_success);
+}
+
+}  // namespace
+}  // namespace poiprivacy::defense

@@ -1,0 +1,95 @@
+// End-to-end determinism: the whole pipeline — generation, traces,
+// attacks, randomized defenses — must be bit-reproducible for a fixed
+// seed and diverge for different seeds. This is what makes every bench
+// table in EXPERIMENTS.md reproducible.
+#include <gtest/gtest.h>
+
+#include "attack/fine_grained.h"
+#include "cloak/kcloak.h"
+#include "defense/opt_defense.h"
+#include "eval/datasets.h"
+#include "eval/runner.h"
+
+namespace poiprivacy {
+namespace {
+
+eval::WorkbenchConfig tiny_config(std::uint64_t seed) {
+  eval::WorkbenchConfig config;
+  config.seed = seed;
+  config.locations_per_dataset = 30;
+  config.num_taxis = 8;
+  config.points_per_taxi = 15;
+  config.num_checkin_users = 8;
+  config.checkins_per_user = 8;
+  return config;
+}
+
+TEST(Determinism, WorkbenchIsReproducible) {
+  const eval::Workbench a(tiny_config(7));
+  const eval::Workbench b(tiny_config(7));
+  for (const eval::DatasetKind kind : eval::kAllDatasets) {
+    EXPECT_EQ(a.locations(kind), b.locations(kind));
+  }
+  ASSERT_EQ(a.taxi_trajectories().size(), b.taxi_trajectories().size());
+  for (std::size_t i = 0; i < a.taxi_trajectories().size(); ++i) {
+    const auto& ta = a.taxi_trajectories()[i].points;
+    const auto& tb = b.taxi_trajectories()[i].points;
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_EQ(ta[j].pos, tb[j].pos);
+      EXPECT_EQ(ta[j].time, tb[j].time);
+    }
+  }
+}
+
+TEST(Determinism, WorkbenchDivergesAcrossSeeds) {
+  const eval::Workbench a(tiny_config(7));
+  const eval::Workbench b(tiny_config(8));
+  EXPECT_NE(a.locations(eval::DatasetKind::kBeijingRandom),
+            b.locations(eval::DatasetKind::kBeijingRandom));
+}
+
+TEST(Determinism, AttackEvaluationIsReproducible) {
+  const eval::Workbench bench(tiny_config(9));
+  const poi::PoiDatabase& db = bench.beijing().db;
+  const auto run = [&] {
+    return eval::evaluate_attack(
+        db, bench.locations(eval::DatasetKind::kBeijingRandom), 2.0,
+        eval::identity_release(db));
+  };
+  const eval::AttackStats a = run();
+  const eval::AttackStats b = run();
+  EXPECT_EQ(a.unique, b.unique);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(Determinism, FineGrainedAreasAreReproducible) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 11);
+  const attack::FineGrainedAttack fine(city.db);
+  const poi::FrequencyVector f = city.db.freq({4.0, 4.0}, 0.8);
+  const attack::FineGrainedResult a = fine.infer(f, 0.8);
+  const attack::FineGrainedResult b = fine.infer(f, 0.8);
+  EXPECT_EQ(a.baseline_unique, b.baseline_unique);
+  EXPECT_EQ(a.aux_anchors, b.aux_anchors);
+  EXPECT_DOUBLE_EQ(a.area_km2, b.area_km2);
+}
+
+TEST(Determinism, DpDefenseIsSeedDriven) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 13);
+  common::Rng pop_rng(3);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(city.db.bounds(), 300, pop_rng),
+      city.db.bounds());
+  const defense::DpDefense defense(city.db, cloaker, {});
+  common::Rng rng_a(17);
+  common::Rng rng_b(17);
+  common::Rng rng_c(18);
+  const geo::Point l{4.0, 4.0};
+  EXPECT_EQ(defense.release(l, 1.0, rng_a), defense.release(l, 1.0, rng_b));
+  // A different seed must (with overwhelming probability) differ.
+  common::Rng rng_a2(17);
+  EXPECT_NE(defense.release(l, 1.0, rng_a2), defense.release(l, 1.0, rng_c));
+}
+
+}  // namespace
+}  // namespace poiprivacy

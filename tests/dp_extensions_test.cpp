@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dp/accountant.h"
+#include "dp/discrete.h"
+
+namespace poiprivacy::dp {
+namespace {
+
+TEST(ExponentialMechanism, RejectsBadParameters) {
+  EXPECT_THROW(ExponentialMechanism(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialMechanism(1.0, 0.0), std::invalid_argument);
+  const ExponentialMechanism mech(1.0, 1.0);
+  EXPECT_THROW(mech.probabilities({}), std::invalid_argument);
+}
+
+TEST(ExponentialMechanism, ProbabilitiesFollowUtilities) {
+  const ExponentialMechanism mech(2.0, 1.0);
+  const std::vector<double> utilities{0.0, 1.0, 2.0};
+  const auto probs = mech.probabilities(utilities);
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+  // Ratio between adjacent utilities is exp(eps * du / (2 * sens)) = e.
+  EXPECT_NEAR(probs[2] / probs[1], std::exp(1.0), 1e-9);
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+}
+
+TEST(ExponentialMechanism, LargeUtilitiesAreNumericallyStable) {
+  const ExponentialMechanism mech(1.0, 1.0);
+  const std::vector<double> utilities{1e6, 1e6 + 1.0};
+  const auto probs = mech.probabilities(utilities);
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(ExponentialMechanism, EmpiricalSelectionMatchesProbabilities) {
+  const ExponentialMechanism mech(1.0, 1.0);
+  const std::vector<double> utilities{0.0, 2.0};
+  const auto probs = mech.probabilities(utilities);
+  common::Rng rng(3);
+  int second = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) second += mech.select(utilities, rng) == 1;
+  EXPECT_NEAR(static_cast<double>(second) / n, probs[1], 0.01);
+}
+
+TEST(RandomizedResponse, TruthRateMatchesEpsilon) {
+  common::Rng rng(5);
+  const double eps = 1.0;
+  const double expected = std::exp(eps) / (std::exp(eps) + 1.0);
+  int truthful = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) truthful += randomized_response(true, eps, rng);
+  EXPECT_NEAR(static_cast<double>(truthful) / n, expected, 0.01);
+}
+
+TEST(RandomizedResponse, EstimatorIsUnbiased) {
+  common::Rng rng(7);
+  const double eps = 0.8;
+  const double true_fraction = 0.3;
+  const int n = 60000;
+  int positives = 0;
+  for (int i = 0; i < n; ++i) {
+    positives += randomized_response(rng.bernoulli(true_fraction), eps, rng);
+  }
+  const double estimate = randomized_response_estimate(
+      static_cast<double>(positives) / n, eps);
+  EXPECT_NEAR(estimate, true_fraction, 0.02);
+}
+
+TEST(RandomizedResponse, RejectsBadEpsilon) {
+  common::Rng rng(9);
+  EXPECT_THROW(randomized_response(true, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(randomized_response_estimate(0.5, -1.0),
+               std::invalid_argument);
+}
+
+TEST(GeometricMechanism, RejectsBadParameters) {
+  EXPECT_THROW(GeometricMechanism(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(GeometricMechanism(1.0, 0), std::invalid_argument);
+}
+
+TEST(GeometricMechanism, NoiseIsCenteredIntegerValued) {
+  const GeometricMechanism mech(1.0, 1);
+  common::Rng rng(11);
+  common::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(mech.perturb(100, rng)));
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 0.05);
+  // Var of two-sided geometric with alpha: 2 alpha / (1-alpha)^2.
+  const double alpha = mech.alpha();
+  const double expected_var = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha));
+  EXPECT_NEAR(stats.variance(), expected_var, expected_var * 0.1);
+}
+
+TEST(GeometricMechanism, SmallerEpsilonMeansMoreNoise) {
+  common::Rng rng_a(13);
+  common::Rng rng_b(13);
+  const GeometricMechanism tight(0.1, 1);
+  const GeometricMechanism loose(2.0, 1);
+  double tight_abs = 0.0;
+  double loose_abs = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    tight_abs += std::abs(tight.perturb(0, rng_a));
+    loose_abs += std::abs(loose.perturb(0, rng_b));
+  }
+  EXPECT_GT(tight_abs, 4.0 * loose_abs);
+}
+
+TEST(Accountant, BasicCompositionSums) {
+  PrivacyAccountant accountant;
+  accountant.spend({1.0, 0.1});
+  accountant.spend({0.5, 0.05});
+  EXPECT_EQ(accountant.releases(), 2u);
+  const PrivacyParams total = accountant.basic_composition();
+  EXPECT_DOUBLE_EQ(total.epsilon, 1.5);
+  EXPECT_DOUBLE_EQ(total.delta, 0.15000000000000002);
+}
+
+TEST(Accountant, RejectsInvalidSpend) {
+  PrivacyAccountant accountant;
+  EXPECT_THROW(accountant.spend({0.0, 0.1}), std::invalid_argument);
+  EXPECT_THROW(accountant.spend({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Accountant, AdvancedBeatsBasicForManySmallReleases) {
+  PrivacyAccountant accountant;
+  const double eps = 0.1;
+  for (int i = 0; i < 100; ++i) accountant.spend({eps, 0.0});
+  const PrivacyParams basic = accountant.basic_composition();
+  const PrivacyParams advanced = accountant.advanced_composition(1e-5);
+  EXPECT_NEAR(basic.epsilon, 10.0, 1e-9);
+  EXPECT_LT(advanced.epsilon, basic.epsilon);
+}
+
+TEST(Accountant, AdvancedMatchesClosedForm) {
+  PrivacyAccountant accountant;
+  const double eps = 0.2;
+  const int k = 50;
+  for (int i = 0; i < k; ++i) accountant.spend({eps, 0.01});
+  const double delta_prime = 1e-6;
+  const PrivacyParams advanced = accountant.advanced_composition(delta_prime);
+  const double expected =
+      eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
+      k * eps * (std::exp(eps) - 1.0);
+  EXPECT_NEAR(advanced.epsilon, expected, 1e-12);
+  EXPECT_NEAR(advanced.delta, 0.5 + delta_prime, 1e-12);
+}
+
+TEST(Accountant, AdvancedRequiresUniformEpsilon) {
+  PrivacyAccountant accountant;
+  accountant.spend({1.0, 0.0});
+  accountant.spend({0.5, 0.0});
+  EXPECT_THROW(accountant.advanced_composition(1e-5), std::logic_error);
+}
+
+TEST(Accountant, AdvancedRejectsBadSlack) {
+  PrivacyAccountant accountant;
+  accountant.spend({1.0, 0.0});
+  EXPECT_THROW(accountant.advanced_composition(0.0), std::invalid_argument);
+  EXPECT_THROW(accountant.advanced_composition(1.0), std::invalid_argument);
+}
+
+TEST(Accountant, EmptyAccountantIsFree) {
+  PrivacyAccountant accountant;
+  EXPECT_DOUBLE_EQ(accountant.basic_composition().epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(accountant.advanced_composition(0.5).epsilon, 0.0);
+}
+
+}  // namespace
+}  // namespace poiprivacy::dp

@@ -1,0 +1,178 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "attack/fingerprint.h"
+#include "attack/robust_reid.h"
+#include "common/rng.h"
+#include "defense/opt_defense.h"
+#include "defense/sanitizer.h"
+#include "poi/city_model.h"
+
+namespace poiprivacy::attack {
+namespace {
+
+poi::City make_city(std::uint64_t seed = 7) {
+  return poi::generate_city(poi::test_preset(), seed);
+}
+
+TEST(DominatesTolerant, ExactDominationAlwaysPasses) {
+  const poi::FrequencyVector a{3, 2, 1};
+  const poi::FrequencyVector b{2, 2, 0};
+  EXPECT_TRUE(dominates_tolerant(a, b, 0, 0));
+}
+
+TEST(DominatesTolerant, CountsViolationsAndDeficit) {
+  const poi::FrequencyVector a{0, 2, 0};
+  const poi::FrequencyVector b{1, 2, 2};
+  // Two violated dimensions with total deficit 3.
+  EXPECT_FALSE(dominates_tolerant(a, b, 1, 3));
+  EXPECT_FALSE(dominates_tolerant(a, b, 2, 2));
+  EXPECT_TRUE(dominates_tolerant(a, b, 2, 3));
+}
+
+TEST(DominatesTolerant, ZeroToleranceEqualsStrictDomination) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    poi::FrequencyVector a(10);
+    poi::FrequencyVector b(10);
+    for (int i = 0; i < 10; ++i) {
+      a[i] = static_cast<std::int32_t>(rng.uniform_int(0, 4));
+      b[i] = static_cast<std::int32_t>(rng.uniform_int(0, 4));
+    }
+    EXPECT_EQ(dominates_tolerant(a, b, 0, 0), poi::dominates(a, b));
+  }
+}
+
+TEST(Fingerprint, FeasibleRegionNeverExcludesTruth) {
+  const poi::City city = make_city();
+  const double r = 0.8;
+  const FingerprintAttack attack(city.db, r, {0.5});
+  common::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const FingerprintResult result = attack.infer(city.db.freq(l, r));
+    // No false negatives: the releaser's cell always survives.
+    EXPECT_TRUE(attack.covers(result, l)) << "trial " << trial;
+    EXPECT_GT(result.feasible_area_km2, 0.0);
+  }
+}
+
+TEST(Fingerprint, EmptyReleaseMatchesWholeCity) {
+  const poi::City city = make_city();
+  const FingerprintAttack attack(city.db, 0.8, {0.5});
+  const poi::FrequencyVector empty(city.db.num_types(), 0);
+  const FingerprintResult result = attack.infer(empty);
+  EXPECT_EQ(result.feasible_cells.size(), attack.num_cells());
+}
+
+TEST(Fingerprint, RicherVectorShrinksRegion) {
+  const poi::City city = make_city();
+  const double r = 0.8;
+  const FingerprintAttack attack(city.db, r, {0.5});
+  common::Rng rng(7);
+  double sparse_area = 0.0;
+  double rich_area = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const geo::Point l{rng.uniform(1.0, 7.0), rng.uniform(1.0, 7.0)};
+    const poi::FrequencyVector rich = city.db.freq(l, r);
+    if (poi::total(rich) < 5) continue;
+    // Keep only the two most common present types -> sparser evidence.
+    poi::FrequencyVector sparse(rich.size(), 0);
+    const auto top = poi::top_k_types(rich, 2);
+    for (const poi::TypeId t : top) sparse[t] = rich[t];
+    sparse_area += attack.infer(sparse).feasible_area_km2;
+    rich_area += attack.infer(rich).feasible_area_km2;
+    ++n;
+  }
+  ASSERT_GT(n, 10);
+  EXPECT_LT(rich_area, sparse_area);
+}
+
+TEST(Fingerprint, SurvivesSanitization) {
+  // Zeroing entries can only enlarge the feasible region, never lose the
+  // true cell: the fingerprint attack is structurally immune to
+  // suppression-style defenses.
+  const poi::City city = make_city();
+  const defense::Sanitizer sanitizer(city.db, 10);
+  const double r = 0.8;
+  const FingerprintAttack attack(city.db, r, {0.5});
+  common::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const poi::FrequencyVector truth = city.db.freq(l, r);
+    const FingerprintResult on_truth = attack.infer(truth);
+    const FingerprintResult on_sanitized =
+        attack.infer(sanitizer.sanitize(truth));
+    EXPECT_TRUE(attack.covers(on_sanitized, l));
+    EXPECT_GE(on_sanitized.feasible_area_km2, on_truth.feasible_area_km2);
+  }
+}
+
+TEST(Fingerprint, FinerGridGivesSmallerOrEqualRegions) {
+  const poi::City city = make_city();
+  const double r = 0.8;
+  const FingerprintAttack coarse(city.db, r, {1.0});
+  const FingerprintAttack fine(city.db, r, {0.25});
+  common::Rng rng(11);
+  double coarse_total = 0.0;
+  double fine_total = 0.0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const poi::FrequencyVector f = city.db.freq(l, r);
+    coarse_total += coarse.infer(f).feasible_area_km2;
+    fine_total += fine.infer(f).feasible_area_km2;
+  }
+  EXPECT_LE(fine_total, coarse_total * 1.1);
+}
+
+TEST(RobustReid, MatchesBaselineOnHonestReleases) {
+  const poi::City city = make_city();
+  const RegionReidentifier baseline(city.db);
+  const RobustReidentifier robust(city.db);
+  common::Rng rng(13);
+  const double r = 0.8;
+  int baseline_successes = 0;
+  int robust_successes = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const poi::FrequencyVector f = city.db.freq(l, r);
+    baseline_successes += attack_success(baseline.infer(f, r), city.db, l, r);
+    robust_successes += robust.success(robust.infer(f, r), l, r);
+  }
+  // Voting over several pivots should do at least comparably well.
+  EXPECT_GE(robust_successes, baseline_successes / 2);
+}
+
+TEST(RobustReid, BeatsBaselineAgainstSuppression) {
+  const poi::City city = make_city();
+  const defense::OptimizationDefense defense(city.db, 0.05);
+  const RegionReidentifier baseline(city.db);
+  const RobustReidentifier robust(city.db);
+  common::Rng rng(17);
+  const double r = 0.8;
+  int baseline_successes = 0;
+  int robust_successes = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const poi::FrequencyVector released =
+        defense.release(city.db.freq(l, r));
+    baseline_successes +=
+        attack_success(baseline.infer(released, r), city.db, l, r);
+    robust_successes += robust.success(robust.infer(released, r), l, r);
+  }
+  EXPECT_GE(robust_successes, baseline_successes);
+}
+
+TEST(RobustReid, EmptyReleaseIsUndecided) {
+  const poi::City city = make_city();
+  const RobustReidentifier robust(city.db);
+  const poi::FrequencyVector empty(city.db.num_types(), 0);
+  const RobustReidResult result = robust.infer(empty, 0.8);
+  EXPECT_FALSE(result.decided);
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+}  // namespace
+}  // namespace poiprivacy::attack

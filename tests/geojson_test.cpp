@@ -1,0 +1,68 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "poi/city_model.h"
+#include "poi/geojson.h"
+
+namespace poiprivacy::poi {
+namespace {
+
+constexpr geo::LatLon kBeijingRef{39.8, 116.2};
+
+TEST(GeoJson, DatabaseExportHasOneFeaturePerPoi) {
+  const City city = generate_city(test_preset(), 7);
+  std::ostringstream out;
+  write_geojson(city.db, kBeijingRef, out);
+  const std::string json = out.str();
+  std::size_t features = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"Feature\"", pos)) != std::string::npos; ++pos) {
+    ++features;
+  }
+  EXPECT_EQ(features, city.db.pois().size());
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(GeoJson, CoordinatesAreNearTheReference) {
+  const City city = generate_city(test_preset(), 7);
+  std::ostringstream out;
+  write_geojson(city.db, kBeijingRef, out);
+  // An 8x8 km city around (39.8, 116.2): longitudes in [116.2, 116.4],
+  // latitudes in [39.8, 39.9] roughly.
+  const std::string json = out.str();
+  EXPECT_NE(json.find("116.2"), std::string::npos);
+  EXPECT_EQ(json.find("200."), std::string::npos);  // no raw km values
+}
+
+TEST(GeoJson, CirclesExportAsClosedPolygons) {
+  const std::vector<geo::Circle> disks{{{1.0, 1.0}, 0.5}, {{2.0, 2.0}, 1.0}};
+  std::ostringstream out;
+  write_geojson_circles(disks, kBeijingRef, out, 16);
+  const std::string json = out.str();
+  std::size_t polygons = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"Polygon\"", pos)) != std::string::npos; ++pos) {
+    ++polygons;
+  }
+  EXPECT_EQ(polygons, 2u);
+  EXPECT_NE(json.find("\"radius_km\":0.5"), std::string::npos);
+}
+
+TEST(GeoJson, EmptyInputsProduceValidCollections) {
+  PoiTypeRegistry registry;
+  registry.intern("x");
+  const PoiDatabase empty("empty", {}, std::move(registry),
+                          {0.0, 0.0, 1.0, 1.0});
+  std::ostringstream out;
+  write_geojson(empty, kBeijingRef, out);
+  EXPECT_EQ(out.str(), "{\"type\":\"FeatureCollection\",\"features\":[]}");
+  std::ostringstream out2;
+  write_geojson_circles({}, kBeijingRef, out2);
+  EXPECT_EQ(out2.str(), "{\"type\":\"FeatureCollection\",\"features\":[]}");
+}
+
+}  // namespace
+}  // namespace poiprivacy::poi

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/hull.h"
+
+namespace poiprivacy::geo {
+namespace {
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1},
+                               {0.5, 0.5}, {0.2, 0.7}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(polygon_area(hull), 1.0, 1e-12);
+}
+
+TEST(ConvexHull, FewerThanThreePoints) {
+  EXPECT_TRUE(convex_hull({}).empty());
+  const std::vector<Point> one{{1, 2}};
+  EXPECT_EQ(convex_hull(one).size(), 1u);
+  const std::vector<Point> dup{{1, 2}, {1, 2}};
+  EXPECT_EQ(convex_hull(dup).size(), 1u);
+  const std::vector<Point> two{{0, 0}, {3, 3}};
+  EXPECT_EQ(convex_hull(two).size(), 2u);
+}
+
+TEST(ConvexHull, CollinearDegeneratesToExtremes) {
+  const std::vector<Point> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(polygon_area(hull), 0.0);
+}
+
+TEST(ConvexHull, OutputIsCounterClockwise) {
+  common::Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)});
+  }
+  const auto hull = convex_hull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  EXPECT_GT(polygon_signed_area(hull), 0.0);
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> pts;
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    }
+    const auto hull = convex_hull(pts);
+    for (const Point p : pts) {
+      EXPECT_TRUE(polygon_contains(hull, p)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ConvexHull, HullOfHullIsIdempotent) {
+  common::Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)});
+  }
+  const auto hull = convex_hull(pts);
+  const auto hull2 = convex_hull(hull);
+  EXPECT_EQ(hull.size(), hull2.size());
+  EXPECT_NEAR(polygon_area(hull), polygon_area(hull2), 1e-12);
+}
+
+TEST(Polygon, TriangleAreaAndOrientation) {
+  const std::vector<Point> ccw{{0, 0}, {2, 0}, {0, 2}};
+  EXPECT_DOUBLE_EQ(polygon_signed_area(ccw), 2.0);
+  const std::vector<Point> cw{{0, 0}, {0, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(polygon_signed_area(cw), -2.0);
+  EXPECT_DOUBLE_EQ(polygon_area(cw), 2.0);
+}
+
+TEST(Polygon, DegenerateAreaIsZero) {
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Point>{}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Point>{{1, 1}, {2, 2}}), 0.0);
+}
+
+TEST(Polygon, ContainsInteriorExcludesExterior) {
+  const std::vector<Point> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(polygon_contains(square, {2, 2}));
+  EXPECT_TRUE(polygon_contains(square, {0, 0}));    // vertex
+  EXPECT_TRUE(polygon_contains(square, {2, 0}));    // edge
+  EXPECT_FALSE(polygon_contains(square, {5, 2}));
+  EXPECT_FALSE(polygon_contains(square, {-0.1, 2}));
+  EXPECT_FALSE(polygon_contains(square, {2, 4.1}));
+}
+
+TEST(Polygon, ConcavePolygonContainment) {
+  // An L-shape: the notch is outside.
+  const std::vector<Point> ell{{0, 0}, {4, 0}, {4, 2}, {2, 2},
+                               {2, 4}, {0, 4}};
+  EXPECT_TRUE(polygon_contains(ell, {1, 3}));
+  EXPECT_TRUE(polygon_contains(ell, {3, 1}));
+  EXPECT_FALSE(polygon_contains(ell, {3, 3}));
+}
+
+TEST(Polygon, HullAreaMatchesDiskSampling) {
+  // Hull of many points on a circle approximates the circle's area.
+  std::vector<Point> pts;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double theta = 2.0 * M_PI * i / n;
+    pts.push_back({3.0 * std::cos(theta), 3.0 * std::sin(theta)});
+  }
+  const auto hull = convex_hull(pts);
+  EXPECT_NEAR(polygon_area(hull), M_PI * 9.0, 0.05);
+}
+
+}  // namespace
+}  // namespace poiprivacy::geo

@@ -1,0 +1,257 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments asserting the qualitative shapes that the full bench
+// binaries reproduce at scale. These run on reduced sample sizes so the
+// whole suite stays fast; the assertions are deliberately loose envelopes
+// around the paper's claims, not exact numbers.
+#include <gtest/gtest.h>
+
+#include "attack/recovery.h"
+#include "attack/trajectory_attack.h"
+#include "cloak/kcloak.h"
+#include "defense/location_defenses.h"
+#include "defense/opt_defense.h"
+#include "defense/sanitizer.h"
+#include "eval/datasets.h"
+#include "eval/runner.h"
+
+namespace poiprivacy {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorkbenchConfig config;
+    config.locations_per_dataset = 120;
+    config.num_taxis = 60;
+    config.points_per_taxi = 40;
+    config.num_checkin_users = 60;
+    config.checkins_per_user = 20;
+    workbench_ = new eval::Workbench(config);
+  }
+  static void TearDownTestSuite() {
+    delete workbench_;
+    workbench_ = nullptr;
+  }
+
+  static const eval::Workbench& workbench() { return *workbench_; }
+
+ private:
+  static const eval::Workbench* workbench_;
+};
+
+const eval::Workbench* IntegrationTest::workbench_ = nullptr;
+
+double baseline_success(const poi::PoiDatabase& db,
+                        std::span<const geo::Point> locations, double r) {
+  return eval::evaluate_attack(db, locations, r,
+                               eval::identity_release(db))
+      .success_rate();
+}
+
+// Figure 3/4 baseline: success grows with the query range on the random
+// datasets, from below ~0.35 at 0.5 km to above ~0.45 at 4 km.
+TEST_F(IntegrationTest, BaselineSuccessGrowsWithQueryRange) {
+  for (const eval::DatasetKind kind : {eval::DatasetKind::kBeijingRandom,
+                                       eval::DatasetKind::kNycRandom}) {
+    const poi::PoiDatabase& db = workbench().city_of(kind).db;
+    const double at_half = baseline_success(db, workbench().locations(kind),
+                                            0.5);
+    const double at_four = baseline_success(db, workbench().locations(kind),
+                                            4.0);
+    EXPECT_LT(at_half, 0.40) << eval::dataset_name(kind);
+    EXPECT_GT(at_four, 0.45) << eval::dataset_name(kind);
+    EXPECT_GT(at_four, at_half) << eval::dataset_name(kind);
+  }
+}
+
+// Section III-B / Figure 4: geo-ind at eps=0.1 (100 m unit) mitigates far
+// more of the attack at r=0.5 than at r=4; eps=1.0 helps much less.
+TEST_F(IntegrationTest, GeoIndMitigationFadesWithRange) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingRandom;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  const auto protected_rate = [&](double eps, double r) {
+    const defense::GeoIndDefense defense(db, eps, 0.1);
+    common::Rng rng(99);
+    return eval::evaluate_attack(db, workbench().locations(kind), r,
+                                 [&](geo::Point l, double radius) {
+                                   return defense.release(l, radius, rng);
+                                 })
+        .success_rate();
+  };
+  const double base_half = baseline_success(db, workbench().locations(kind),
+                                            0.5);
+  const double base_four = baseline_success(db, workbench().locations(kind),
+                                            4.0);
+  const double strong_half = protected_rate(0.1, 0.5);
+  const double strong_four = protected_rate(0.1, 4.0);
+  // Mitigation fraction shrinks with r.
+  const double mitigation_half =
+      base_half > 0 ? 1.0 - strong_half / base_half : 1.0;
+  const double mitigation_four =
+      base_four > 0 ? 1.0 - strong_four / base_four : 1.0;
+  EXPECT_GT(mitigation_half, mitigation_four);
+  EXPECT_GT(mitigation_half, 0.5);
+  // eps=1.0 barely reduces the attack at r=4.
+  EXPECT_GT(protected_rate(1.0, 4.0), 0.7 * base_four);
+}
+
+// Section III-C / Figure 5: k-cloaking success decreases in k but remains
+// substantial at k=50 for large query ranges.
+TEST_F(IntegrationTest, KCloakingDecreasesButDoesNotEliminate) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingRandom;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  common::Rng pop_rng(7);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(db.bounds(), 10000, pop_rng), db.bounds());
+  const auto rate = [&](std::size_t k, double r) {
+    const defense::KCloakDefense defense(db, cloaker, k);
+    return eval::evaluate_attack(db, workbench().locations(kind), r,
+                                 [&defense](geo::Point l, double radius) {
+                                   return defense.release(l, radius);
+                                 })
+        .success_rate();
+  };
+  const double base = baseline_success(db, workbench().locations(kind), 4.0);
+  const double k2 = rate(2, 4.0);
+  const double k50 = rate(50, 4.0);
+  EXPECT_LE(k50, k2 + 0.02);
+  EXPECT_GT(k50, 0.25 * base);  // still not satisfactory protection
+}
+
+// Section III-A / Figures 2-3: sanitization suppresses the attack at
+// r=4 km and the SVM recovery restores a substantial part of it.
+TEST_F(IntegrationTest, SanitizationSuppressedThenRecovered) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingRandom;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  const defense::Sanitizer sanitizer(db, 10);
+  const double r = 4.0;
+  const double base = baseline_success(db, workbench().locations(kind), r);
+  const double sanitized =
+      eval::evaluate_attack(db, workbench().locations(kind), r,
+                            [&](geo::Point l, double radius) {
+                              return sanitizer.sanitize(db.freq(l, radius));
+                            })
+          .success_rate();
+  attack::RecoveryConfig config;
+  config.train_samples = 250;
+  config.validation_samples = 60;
+  common::Rng rng(11);
+  const attack::SanitizationRecovery recovery(
+      db, sanitizer.sanitized_types(), r, config, rng);
+  const double recovered =
+      eval::evaluate_attack(db, workbench().locations(kind), r,
+                            [&](geo::Point l, double radius) {
+                              return recovery.recover(
+                                  sanitizer.sanitize(db.freq(l, radius)));
+                            })
+          .success_rate();
+  EXPECT_LT(sanitized, 0.5 * base);
+  EXPECT_GT(recovered, sanitized + 0.1);
+  EXPECT_GT(recovery.mean_validation_accuracy(), 0.9);
+}
+
+// Section IV-A / Figures 6-7: the fine-grained attack shrinks the search
+// area to a fraction of pi r^2, and more anchors shrink it further.
+TEST_F(IntegrationTest, FineGrainedShrinksSearchArea) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingTdrive;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  const double r = 2.0;
+  attack::FineGrainedConfig few;
+  few.max_aux = 5;
+  attack::FineGrainedConfig many;
+  many.max_aux = 40;
+  const eval::FineGrainedStats stats_few = eval::evaluate_fine_grained(
+      db, workbench().locations(kind), r, few);
+  const eval::FineGrainedStats stats_many = eval::evaluate_fine_grained(
+      db, workbench().locations(kind), r, many);
+  ASSERT_GT(stats_few.successes, 10u);
+  EXPECT_LT(stats_few.mean_area(), M_PI * r * r / 4.0);
+  EXPECT_LE(stats_many.mean_area(), stats_few.mean_area() + 1e-9);
+}
+
+// Section IV-B / Figure 8: two successive releases never hurt and help at
+// small ranges.
+TEST_F(IntegrationTest, TwoReleasesImproveSuccess) {
+  const poi::PoiDatabase& db = workbench().beijing().db;
+  const double r = 1.0;
+  const auto pairs = traj::extract_release_pairs(
+      workbench().taxi_trajectories(), db, r, 10 * 60);
+  ASSERT_GT(pairs.size(), 60u);
+  const std::size_t half = pairs.size() / 2;
+  common::Rng rng(5);
+  const attack::TrajectoryAttackConfig config;
+  const attack::TrajectoryAttack attack(
+      db, std::span(pairs.data(), half), r, config, rng);
+  std::size_t single = 0;
+  std::size_t enhanced = 0;
+  for (std::size_t i = half; i < pairs.size(); ++i) {
+    const attack::PairInferenceResult result = attack.infer(
+        db.freq(pairs[i].first, r), db.freq(pairs[i].second, r),
+        pairs[i].first_time, pairs[i].second_time);
+    single += result.baseline_unique();
+    enhanced += result.enhanced_unique();
+  }
+  EXPECT_GE(enhanced, single);
+}
+
+// Section V / Figures 9-12: both defenses mitigate the attack while
+// keeping Top-10 utility high; the DP variant's protection weakens and
+// utility grows with the privacy budget.
+TEST_F(IntegrationTest, OptimizationDefenseTradesOffGracefully) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingTdrive;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  const double r = 4.0;
+  const double base = baseline_success(db, workbench().locations(kind), r);
+  double prev_success = base;
+  for (const double beta : {0.01, 0.03, 0.05}) {
+    const defense::OptimizationDefense defense(db, beta);
+    const eval::ReleaseFn release = [&](geo::Point l, double radius) {
+      return defense.release(db.freq(l, radius));
+    };
+    const double success =
+        eval::evaluate_attack(db, workbench().locations(kind), r, release)
+            .success_rate();
+    const double jaccard =
+        eval::evaluate_utility(db, workbench().locations(kind), r, release)
+            .mean_jaccard;
+    EXPECT_LE(success, prev_success + 0.05) << "beta " << beta;
+    EXPECT_GT(jaccard, 0.9) << "beta " << beta;
+    prev_success = success;
+  }
+  EXPECT_LT(prev_success, 0.6 * base);
+}
+
+TEST_F(IntegrationTest, DpDefenseBudgetControlsTradeOff) {
+  const eval::DatasetKind kind = eval::DatasetKind::kBeijingTdrive;
+  const poi::PoiDatabase& db = workbench().city_of(kind).db;
+  const double r = 2.0;
+  common::Rng pop_rng(13);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(db.bounds(), 10000, pop_rng), db.bounds());
+  const double base = baseline_success(db, workbench().locations(kind), r);
+  const auto run = [&](double eps) {
+    defense::DpDefenseConfig config;
+    config.epsilon = eps;
+    config.beta = 0.02;
+    const defense::DpDefense defense(db, cloaker, config);
+    common::Rng rng(17);
+    const eval::ReleaseFn release = [&](geo::Point l, double radius) {
+      return defense.release(l, radius, rng);
+    };
+    return std::pair{
+        eval::evaluate_attack(db, workbench().locations(kind), r, release)
+            .success_rate(),
+        eval::evaluate_utility(db, workbench().locations(kind), r, release)
+            .mean_jaccard};
+  };
+  const auto [success_tight, jaccard_tight] = run(0.2);
+  const auto [success_loose, jaccard_loose] = run(2.0);
+  // Both settings mitigate the attack substantially.
+  EXPECT_LT(success_tight, 0.6 * base);
+  EXPECT_LT(success_loose, 0.8 * base);
+  // Less privacy -> better utility.
+  EXPECT_GT(jaccard_loose, jaccard_tight);
+}
+
+}  // namespace
+}  // namespace poiprivacy

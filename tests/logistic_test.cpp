@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/logistic.h"
+
+namespace poiprivacy::ml {
+namespace {
+
+Matrix blobs(common::Rng& rng, std::vector<int>& labels, std::size_t n,
+             double separation) {
+  Matrix x(n, 2);
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : -1;
+    labels[i] = label;
+    x.at(i, 0) = label * separation + rng.normal(0.0, 0.5);
+    x.at(i, 1) = rng.normal(0.0, 0.5);
+  }
+  return x;
+}
+
+TEST(BinaryLogistic, SeparatesBlobs) {
+  common::Rng rng(3);
+  std::vector<int> labels;
+  const Matrix x = blobs(rng, labels, 300, 2.0);
+  BinaryLogistic model;
+  model.train(x, labels, {}, rng);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    hits += (model.decision(x.row(i)) >= 0.0 ? 1 : -1) == labels[i];
+  }
+  EXPECT_GT(hits, 290u);
+}
+
+TEST(BinaryLogistic, ProbabilitiesAreCalibratedAtTheBoundary) {
+  common::Rng rng(5);
+  std::vector<int> labels;
+  const Matrix x = blobs(rng, labels, 400, 2.0);
+  BinaryLogistic model;
+  model.train(x, labels, {}, rng);
+  // At the midpoint between the blobs, p should be near 0.5; deep inside
+  // a blob it should be near 0 or 1.
+  const std::vector<double> mid{0.0, 0.0};
+  const std::vector<double> pos{3.0, 0.0};
+  const std::vector<double> neg{-3.0, 0.0};
+  EXPECT_NEAR(model.probability(mid), 0.5, 0.2);
+  EXPECT_GT(model.probability(pos), 0.9);
+  EXPECT_LT(model.probability(neg), 0.1);
+}
+
+TEST(BinaryLogistic, ProbabilityIsSigmoidOfDecision) {
+  common::Rng rng(7);
+  std::vector<int> labels;
+  const Matrix x = blobs(rng, labels, 100, 1.5);
+  BinaryLogistic model;
+  model.train(x, labels, {}, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double z = model.decision(x.row(i));
+    EXPECT_NEAR(model.probability(x.row(i)), 1.0 / (1.0 + std::exp(-z)),
+                1e-12);
+  }
+}
+
+TEST(BinaryLogistic, L2ShrinksWeights) {
+  common::Rng rng(9);
+  std::vector<int> labels;
+  const Matrix x = blobs(rng, labels, 200, 2.0);
+  LogisticConfig weak;
+  weak.l2 = 1e-6;
+  LogisticConfig strong;
+  strong.l2 = 1.0;
+  BinaryLogistic weak_model;
+  BinaryLogistic strong_model;
+  common::Rng rng_a(11);
+  common::Rng rng_b(11);
+  weak_model.train(x, labels, weak, rng_a);
+  strong_model.train(x, labels, strong, rng_b);
+  double weak_norm = 0.0;
+  double strong_norm = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    weak_norm += weak_model.weights()[j] * weak_model.weights()[j];
+    strong_norm += strong_model.weights()[j] * strong_model.weights()[j];
+  }
+  EXPECT_LT(strong_norm, weak_norm);
+}
+
+TEST(LogisticClassifier, SingleClassIsConstant) {
+  common::Rng rng(13);
+  Matrix x(5, 2);
+  const std::vector<int> labels(5, 7);
+  LogisticClassifier clf;
+  clf.train(x, labels, rng);
+  EXPECT_EQ(clf.predict(x.row(0)), 7);
+}
+
+TEST(LogisticClassifier, MultiClassRings) {
+  common::Rng rng(17);
+  const int k = 3;
+  Matrix x(300, 2);
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(0, k - 1));
+    labels[i] = label;
+    const double angle = 2.0 * M_PI * label / k;
+    x.at(i, 0) = 3.0 * std::cos(angle) + rng.normal(0.0, 0.5);
+    x.at(i, 1) = 3.0 * std::sin(angle) + rng.normal(0.0, 0.5);
+  }
+  LogisticClassifier clf;
+  clf.train(x, labels, rng);
+  EXPECT_GT(accuracy(labels, clf.predict(x)), 0.93);
+}
+
+TEST(LogisticClassifier, DeterministicGivenSeed) {
+  common::Rng data_rng(19);
+  std::vector<int> labels;
+  const Matrix x = blobs(data_rng, labels, 120, 2.0);
+  LogisticClassifier a;
+  LogisticClassifier b;
+  common::Rng rng_a(23);
+  common::Rng rng_b(23);
+  a.train(x, labels, rng_a);
+  b.train(x, labels, rng_b);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(a.predict(x.row(i)), b.predict(x.row(i)));
+  }
+}
+
+TEST(LogisticClassifier, EmptyTrainingPredictsZero) {
+  LogisticClassifier clf;
+  common::Rng rng(29);
+  clf.train(Matrix(0, 0), std::vector<int>{}, rng);
+  EXPECT_EQ(clf.predict(std::vector<double>{}), 0);
+}
+
+}  // namespace
+}  // namespace poiprivacy::ml

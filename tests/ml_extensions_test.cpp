@@ -1,0 +1,169 @@
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/kernel_ridge.h"
+#include "ml/svm.h"
+#include "ml/validation.h"
+
+namespace poiprivacy::ml {
+namespace {
+
+TEST(KernelRidge, RejectsBadLambda) {
+  KernelRidgeConfig config;
+  config.lambda = 0.0;
+  KernelRidge model(config);
+  Matrix x(2, 1);
+  EXPECT_THROW(model.train(x, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(KernelRidge, FitsLinearFunction) {
+  common::Rng rng(5);
+  Matrix x(120, 1);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x.at(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = 2.0 * x.at(i, 0) - 1.0;
+  }
+  KernelRidgeConfig config;
+  config.kernel.kind = KernelKind::kLinear;
+  config.lambda = 1e-4;
+  KernelRidge model(config);
+  model.train(x, y);
+  EXPECT_LT(mean_absolute_error(y, model.predict(x)), 0.05);
+}
+
+TEST(KernelRidge, RbfFitsSine) {
+  common::Rng rng(7);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x.at(i, 0) = rng.uniform(-3.0, 3.0);
+    y[i] = std::sin(x.at(i, 0));
+  }
+  KernelRidgeConfig config;
+  config.kernel.gamma = 1.0;
+  config.lambda = 1e-3;
+  KernelRidge model(config);
+  model.train(x, y);
+  EXPECT_LT(mean_absolute_error(y, model.predict(x)), 0.05);
+}
+
+TEST(KernelRidge, HeavyRegularizationShrinksTowardMeanishPrediction) {
+  common::Rng rng(9);
+  Matrix x(80, 1);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x.at(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = 10.0 * x.at(i, 0);
+  }
+  KernelRidgeConfig light;
+  light.lambda = 1e-4;
+  KernelRidgeConfig heavy;
+  heavy.lambda = 1e4;
+  KernelRidge light_model(light);
+  KernelRidge heavy_model(heavy);
+  light_model.train(x, y);
+  heavy_model.train(x, y);
+  // The heavily regularized model predicts much smaller magnitudes.
+  const std::vector<double> probe{0.9};
+  EXPECT_LT(std::abs(heavy_model.predict(probe)),
+            std::abs(light_model.predict(probe)));
+}
+
+TEST(KernelRidge, EmptyTrainingPredictsZero) {
+  KernelRidge model;
+  model.train(Matrix(0, 0), std::vector<double>{});
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(KFold, PartitionsExactlyOnce) {
+  common::Rng rng(11);
+  const auto folds = k_fold_indices(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 4u);
+    EXPECT_LE(fold.size(), 5u);
+    for (const std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "index appears twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(CrossValidate, AveragesFoldScores) {
+  common::Rng rng(13);
+  int calls = 0;
+  const double mean_score = cross_validate(
+      30, 3, rng,
+      [&calls](std::span<const std::size_t> train,
+               std::span<const std::size_t> test) {
+        ++calls;
+        EXPECT_EQ(train.size() + test.size(), 30u);
+        return static_cast<double>(calls);  // 1, 2, 3
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_DOUBLE_EQ(mean_score, 2.0);
+}
+
+TEST(CrossValidate, SvmOnBlobsScoresHigh) {
+  common::Rng rng(17);
+  Matrix x(150, 2);
+  std::vector<int> labels(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : -1;
+    labels[i] = label;
+    x.at(i, 0) = label * 2.0 + rng.normal(0.0, 0.5);
+    x.at(i, 1) = rng.normal(0.0, 0.5);
+  }
+  const double score = cross_validate(
+      x.rows(), 4, rng,
+      [&](std::span<const std::size_t> train_idx,
+          std::span<const std::size_t> test_idx) {
+        SvmClassifier model;
+        common::Rng fold_rng(99);
+        const Matrix x_train = take_rows(x, train_idx);
+        const std::vector<int> y_train = take(std::span(labels), train_idx);
+        model.train(x_train, y_train, fold_rng);
+        const Matrix x_test = take_rows(x, test_idx);
+        const std::vector<int> y_test = take(std::span(labels), test_idx);
+        return accuracy(y_test, model.predict(x_test));
+      });
+  EXPECT_GT(score, 0.9);
+}
+
+TEST(ConfusionMatrix, CountsAndMetrics) {
+  ConfusionMatrix cm;
+  // truth=1 predicted=1 twice; truth=1 predicted=0 once;
+  // truth=0 predicted=0 three times; truth=0 predicted=1 once.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  EXPECT_EQ(cm.total(), 7u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_NEAR(cm.accuracy(), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 3.0 / 4.0, 1e-12);
+  EXPECT_EQ(cm.labels(), (std::vector<int>{0, 1}));
+}
+
+TEST(ConfusionMatrix, UndefinedMetricsAreZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(5), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(5), 0.0);
+}
+
+}  // namespace
+}  // namespace poiprivacy::ml

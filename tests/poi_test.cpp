@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "poi/csv.h"
+#include "poi/database.h"
+#include "poi/frequency.h"
+
+namespace poiprivacy::poi {
+namespace {
+
+City make_test_city(std::uint64_t seed = 7) {
+  return generate_city(test_preset(), seed);
+}
+
+TEST(TypeRegistry, InternIsIdempotent) {
+  PoiTypeRegistry reg;
+  const TypeId a = reg.intern("cafe");
+  const TypeId b = reg.intern("school");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("cafe"), a);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(a), "cafe");
+}
+
+TEST(Frequency, DiffAndL1) {
+  const FrequencyVector a{3, 0, 2};
+  const FrequencyVector b{1, 1, 2};
+  EXPECT_EQ(diff(a, b), (FrequencyVector{2, -1, 0}));
+  EXPECT_EQ(l1_distance(a, b), 3);
+  EXPECT_EQ(total(a), 5);
+}
+
+TEST(Frequency, Dominates) {
+  EXPECT_TRUE(dominates({3, 1, 2}, {3, 0, 2}));
+  EXPECT_TRUE(dominates({3, 1, 2}, {3, 1, 2}));
+  EXPECT_FALSE(dominates({3, 0, 2}, {3, 1, 2}));
+}
+
+TEST(Frequency, TopKTypesOrderedAndPositiveOnly) {
+  const FrequencyVector f{0, 5, 2, 5, 0, 1};
+  const auto top = top_k_types(f, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // freq 5, lower id wins the tie
+  EXPECT_EQ(top[1], 3u);  // freq 5
+  EXPECT_EQ(top[2], 2u);  // freq 2
+}
+
+TEST(Frequency, TopKFewerThanKWhenSparse) {
+  const FrequencyVector f{0, 1, 0};
+  EXPECT_EQ(top_k_types(f, 5).size(), 1u);
+}
+
+TEST(Frequency, JaccardEdgeCases) {
+  const std::vector<TypeId> empty;
+  const std::vector<TypeId> a{1, 2, 3};
+  const std::vector<TypeId> b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(jaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
+}
+
+TEST(Frequency, TopKJaccardIdenticalVectorsIsOne) {
+  const FrequencyVector f{4, 2, 0, 7, 1};
+  EXPECT_DOUBLE_EQ(top_k_jaccard(f, f, 10), 1.0);
+}
+
+TEST(Database, CityFreqMatchesPoiMultiset) {
+  const City city = make_test_city();
+  const FrequencyVector& cf = city.db.city_freq();
+  FrequencyVector expected(city.db.num_types(), 0);
+  for (const Poi& p : city.db.pois()) ++expected[p.type];
+  EXPECT_EQ(cf, expected);
+  EXPECT_EQ(total(cf), static_cast<std::int64_t>(city.db.pois().size()));
+}
+
+TEST(Database, InfrequencyRankIsPermutationConsistentWithCounts) {
+  const City city = make_test_city();
+  const auto& rank = city.db.infrequency_rank();
+  const auto& cf = city.db.city_freq();
+  std::vector<int> sorted = rank;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i) + 1);
+  }
+  for (TypeId a = 0; a < cf.size(); ++a) {
+    for (TypeId b = 0; b < cf.size(); ++b) {
+      if (cf[a] < cf[b]) EXPECT_LT(rank[a], rank[b]);
+    }
+  }
+}
+
+TEST(Database, QueryMatchesBruteForce) {
+  const City city = make_test_city();
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.2, 2.0);
+    const auto got = city.db.query(l, r);
+    std::set<PoiId> got_set(got.begin(), got.end());
+    std::set<PoiId> expected;
+    for (const Poi& p : city.db.pois()) {
+      if (geo::distance(p.pos, l) <= r) expected.insert(p.id);
+    }
+    EXPECT_EQ(got_set, expected);
+  }
+}
+
+TEST(Database, FreqEqualsQueryHistogram) {
+  const City city = make_test_city();
+  common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.2, 2.0);
+    const FrequencyVector f = city.db.freq(l, r);
+    FrequencyVector expected(city.db.num_types(), 0);
+    for (const PoiId id : city.db.query(l, r)) {
+      ++expected[city.db.poi(id).type];
+    }
+    EXPECT_EQ(f, expected);
+  }
+}
+
+TEST(Database, FreqMonotoneInRadius) {
+  const City city = make_test_city();
+  common::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const FrequencyVector small = city.db.freq(l, 0.5);
+    const FrequencyVector large = city.db.freq(l, 1.5);
+    EXPECT_TRUE(dominates(large, small));
+  }
+}
+
+// The covering lemma at the heart of the attack: for any POI p within r
+// of l, F(p, 2r) dominates F(l, r).
+TEST(Database, CoveringLemmaHoldsEverywhere) {
+  const City city = make_test_city();
+  common::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.3, 1.5);
+    const FrequencyVector f = city.db.freq(l, r);
+    for (const PoiId id : city.db.query(l, r)) {
+      const FrequencyVector around = city.db.freq(city.db.poi(id).pos, 2.0 * r);
+      EXPECT_TRUE(dominates(around, f))
+          << "covering violated at trial " << trial;
+    }
+  }
+}
+
+TEST(Database, PoisOfTypePartitionTheDatabase) {
+  const City city = make_test_city();
+  std::size_t total_pois = 0;
+  for (TypeId t = 0; t < city.db.num_types(); ++t) {
+    for (const PoiId id : city.db.pois_of_type(t)) {
+      EXPECT_EQ(city.db.poi(id).type, t);
+    }
+    total_pois += city.db.pois_of_type(t).size();
+  }
+  EXPECT_EQ(total_pois, city.db.pois().size());
+}
+
+TEST(Database, TypesWithCityFreqAtMostThreshold) {
+  const City city = make_test_city();
+  const auto rare = city.db.types_with_city_freq_at_most(10);
+  for (const TypeId t : rare) {
+    EXPECT_LE(city.db.city_freq()[t], 10);
+    EXPECT_GT(city.db.city_freq()[t], 0);
+  }
+  // Complement check.
+  std::set<TypeId> rare_set(rare.begin(), rare.end());
+  for (TypeId t = 0; t < city.db.num_types(); ++t) {
+    if (!rare_set.count(t)) EXPECT_GT(city.db.city_freq()[t], 10);
+  }
+}
+
+TEST(CalibratedCounts, ExactTotalsAndRareTargets) {
+  const auto counts = calibrated_type_counts(177, 10249, 90);
+  EXPECT_EQ(counts.size(), 177u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            10249);
+  std::size_t rare = 0;
+  for (const auto c : counts) {
+    EXPECT_GE(c, 1);
+    if (c <= 10) ++rare;
+  }
+  EXPECT_EQ(rare, 90u);
+}
+
+TEST(CalibratedCounts, NycPresetCalibration) {
+  const auto counts = calibrated_type_counts(272, 30056, 138, 10, 0.6);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            30056);
+  std::size_t rare = 0;
+  for (const auto c : counts) {
+    if (c <= 10) ++rare;
+  }
+  EXPECT_EQ(rare, 138u);
+}
+
+TEST(CalibratedCounts, TailHasSingletonsAtExponentOne) {
+  const auto counts = calibrated_type_counts(177, 10249, 90, 10, 1.0);
+  const auto singletons =
+      std::count(counts.begin(), counts.end(), std::int32_t{1});
+  EXPECT_GT(singletons, 20);
+}
+
+class CityPresetTest
+    : public ::testing::TestWithParam<std::pair<CityPreset, std::size_t>> {};
+
+TEST_P(CityPresetTest, MatchesPaperScale) {
+  const auto& [preset, expected_rare] = GetParam();
+  const City city = generate_city(preset, 42);
+  EXPECT_EQ(city.db.pois().size(), preset.num_pois);
+  EXPECT_EQ(city.db.num_types(), preset.num_types);
+  EXPECT_EQ(city.db.types_with_city_freq_at_most(10).size(), expected_rare);
+  for (const Poi& p : city.db.pois()) {
+    EXPECT_TRUE(city.db.bounds().contains(p.pos));
+    EXPECT_EQ(p.id, &p - city.db.pois().data());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, CityPresetTest,
+    ::testing::Values(std::pair{beijing_preset(), std::size_t{90}},
+                      std::pair{nyc_preset(), std::size_t{138}},
+                      std::pair{test_preset(), std::size_t{18}}));
+
+TEST(CityModel, DeterministicForSeed) {
+  const City a = make_test_city(99);
+  const City b = make_test_city(99);
+  ASSERT_EQ(a.db.pois().size(), b.db.pois().size());
+  for (std::size_t i = 0; i < a.db.pois().size(); ++i) {
+    EXPECT_EQ(a.db.pois()[i].type, b.db.pois()[i].type);
+    EXPECT_EQ(a.db.pois()[i].pos, b.db.pois()[i].pos);
+  }
+}
+
+TEST(CityModel, DifferentSeedsDiffer) {
+  const City a = make_test_city(1);
+  const City b = make_test_city(2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.db.pois().size(); ++i) {
+    if (!(a.db.pois()[i].pos == b.db.pois()[i].pos)) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Csv, RoundTripsDatabase) {
+  const City city = make_test_city();
+  std::stringstream buffer;
+  save_csv(city.db, buffer);
+  const PoiDatabase loaded = load_csv(buffer);
+  EXPECT_EQ(loaded.city_name(), city.db.city_name());
+  ASSERT_EQ(loaded.pois().size(), city.db.pois().size());
+  EXPECT_EQ(loaded.num_types(), city.db.num_types());
+  for (std::size_t i = 0; i < loaded.pois().size(); ++i) {
+    EXPECT_EQ(loaded.types().name(loaded.pois()[i].type),
+              city.db.types().name(city.db.pois()[i].type));
+    EXPECT_NEAR(loaded.pois()[i].pos.x, city.db.pois()[i].pos.x, 1e-6);
+    EXPECT_NEAR(loaded.pois()[i].pos.y, city.db.pois()[i].pos.y, 1e-6);
+  }
+  EXPECT_EQ(loaded.city_freq(), city.db.city_freq());
+}
+
+TEST(Csv, RejectsMalformedHeader) {
+  std::stringstream buffer("id,type,x_km,y_km\n0,cafe,1,2\n");
+  EXPECT_THROW(load_csv(buffer), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonDenseIds) {
+  std::stringstream buffer(
+      "# city=x min_x=0 min_y=0 max_x=1 max_y=1\n"
+      "id,type,x_km,y_km\n5,cafe,0.5,0.5\n");
+  EXPECT_THROW(load_csv(buffer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace poiprivacy::poi

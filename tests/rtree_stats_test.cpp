@@ -1,0 +1,161 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "poi/statistics.h"
+#include "spatial/rtree.h"
+
+namespace poiprivacy {
+namespace {
+
+std::vector<geo::Point> random_points(std::size_t n, const geo::BBox& box,
+                                      common::Rng& rng) {
+  std::vector<geo::Point> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(box.min_x, box.max_x),
+                   rng.uniform(box.min_y, box.max_y)});
+  }
+  return pts;
+}
+
+class RTreeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RTreeProperty, DiskQueryMatchesBruteForce) {
+  common::Rng rng(17);
+  const geo::BBox box{0.0, 0.0, 20.0, 14.0};
+  const auto pts = random_points(700, box, rng);
+  const spatial::RTree tree(pts, GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const geo::Point c{rng.uniform(-2.0, 22.0), rng.uniform(-2.0, 16.0)};
+    const double r = rng.uniform(0.2, 5.0);
+    const auto got = tree.query_disk(c, r);
+    std::set<std::uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got.size(), got_set.size());
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (geo::distance(pts[i], c) <= r) expected.insert(i);
+    }
+    EXPECT_EQ(got_set, expected) << "leaf=" << GetParam();
+  }
+}
+
+TEST_P(RTreeProperty, BoxQueryMatchesBruteForce) {
+  common::Rng rng(19);
+  const geo::BBox bounds{0.0, 0.0, 10.0, 10.0};
+  const auto pts = random_points(400, bounds, rng);
+  const spatial::RTree tree(pts, GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    geo::BBox q{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0), 0.0, 0.0};
+    q.max_x = q.min_x + rng.uniform(0.3, 4.0);
+    q.max_y = q.min_y + rng.uniform(0.3, 4.0);
+    const auto got = tree.query_box(q);
+    std::set<std::uint32_t> got_set(got.begin(), got.end());
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (q.contains(pts[i])) expected.insert(i);
+    }
+    EXPECT_EQ(got_set, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCapacities, RTreeProperty,
+                         ::testing::Values(1u, 4u, 16u, 64u));
+
+TEST(RTree, EmptyTree) {
+  const spatial::RTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.query_disk({0.0, 0.0}, 5.0).empty());
+}
+
+TEST(RTree, SinglePoint) {
+  const spatial::RTree tree({{1.0, 2.0}});
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.query_disk({1.0, 2.0}, 0.1).size(), 1u);
+  EXPECT_TRUE(tree.query_disk({5.0, 5.0}, 0.1).empty());
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  common::Rng rng(23);
+  const geo::BBox box{0.0, 0.0, 10.0, 10.0};
+  const spatial::RTree small(random_points(10, box, rng), 16);
+  const spatial::RTree large(random_points(5000, box, rng), 16);
+  EXPECT_EQ(small.height(), 1);
+  EXPECT_GE(large.height(), 2);
+  EXPECT_LE(large.height(), 4);
+}
+
+TEST(Statistics, TypeCountSummaryMatchesPreset) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  const poi::TypeCountSummary summary =
+      poi::summarize_type_counts(city.db);
+  EXPECT_EQ(summary.rare_types, poi::test_preset().target_rare_types);
+  EXPECT_GE(summary.min_count, 1);
+  EXPECT_GT(summary.max_count, summary.min_count);
+  EXPECT_NEAR(summary.mean_count,
+              static_cast<double>(poi::test_preset().num_pois) /
+                  static_cast<double>(poi::test_preset().num_types),
+              1e-9);
+  EXPECT_GT(summary.top_decile_mass, 0.15);
+  EXPECT_LT(summary.top_decile_mass, 1.0);
+}
+
+TEST(Statistics, GeneratedCityIsClustered) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  const poi::ClusteringSummary clustering =
+      poi::summarize_clustering(city.db);
+  EXPECT_GT(clustering.mean_nn_km, 0.0);
+  // The generator must produce a clustered pattern (Clark-Evans < 1).
+  EXPECT_LT(clustering.clark_evans_ratio, 0.95);
+  EXPECT_GT(clustering.mean_within_type_nn_km, 0.0);
+}
+
+TEST(Statistics, WithinTypeCoLocationIsStrong) {
+  // A type's own POIs must be much closer together than the bounding box
+  // scale — this is the property that calibrates the attacks.
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  const poi::ClusteringSummary clustering =
+      poi::summarize_clustering(city.db);
+  EXPECT_LT(clustering.mean_within_type_nn_km,
+            city.db.bounds().width() / 2.0);
+}
+
+TEST(Statistics, DensityGridCountsEveryPoi) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  const poi::DensityGrid grid = poi::density_grid(city.db, 1.0);
+  std::int64_t total = 0;
+  for (const auto c : grid.counts) total += c;
+  EXPECT_EQ(total, static_cast<std::int64_t>(city.db.pois().size()));
+  EXPECT_EQ(grid.nx, 8);
+  EXPECT_EQ(grid.ny, 8);
+  EXPECT_GT(grid.max_count(), 0);
+}
+
+TEST(Statistics, DensityRenderingShape) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  const poi::DensityGrid grid = poi::density_grid(city.db, 1.0);
+  const std::string art = poi::render_density(grid);
+  std::size_t newlines = 0;
+  for (const char c : art) newlines += c == '\n';
+  EXPECT_EQ(newlines, static_cast<std::size_t>(grid.ny));
+}
+
+TEST(Statistics, TypeNnDistanceEdgeCases) {
+  poi::PoiTypeRegistry registry;
+  const poi::TypeId solo = registry.intern("solo");
+  const poi::TypeId pair = registry.intern("pair");
+  std::vector<poi::Poi> pois{
+      {0, solo, {1.0, 1.0}},
+      {1, pair, {2.0, 2.0}},
+      {2, pair, {2.0, 3.0}},
+  };
+  const poi::PoiDatabase db("edge", std::move(pois), std::move(registry),
+                            {0.0, 0.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(poi::type_nn_distance(db, solo), 0.0);
+  EXPECT_DOUBLE_EQ(poi::type_nn_distance(db, pair), 1.0);
+}
+
+}  // namespace
+}  // namespace poiprivacy

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "poi/city_model.h"
+#include "traj/analysis.h"
+#include "traj/generators.h"
+
+namespace poiprivacy::traj {
+namespace {
+
+Trajectory straight_line() {
+  // 4 points, 1 km apart, 6 minutes apart: 10 km/h.
+  Trajectory t;
+  for (int i = 0; i < 4; ++i) {
+    t.points.push_back({{static_cast<double>(i), 0.0}, i * 360});
+  }
+  return t;
+}
+
+TEST(Analyze, EmptyAndSinglePointAreZero) {
+  Trajectory empty;
+  const TrajectoryStats none = analyze(empty);
+  EXPECT_DOUBLE_EQ(none.total_distance_km, 0.0);
+  Trajectory one;
+  one.points.push_back({{1.0, 1.0}, 100});
+  EXPECT_DOUBLE_EQ(analyze(one).total_distance_km, 0.0);
+}
+
+TEST(Analyze, StraightLineStatistics) {
+  const TrajectoryStats stats = analyze(straight_line());
+  EXPECT_DOUBLE_EQ(stats.total_distance_km, 3.0);
+  EXPECT_NEAR(stats.duration_hours, 0.3, 1e-12);
+  EXPECT_NEAR(stats.mean_speed_kmh, 10.0, 1e-9);
+  EXPECT_NEAR(stats.max_segment_speed_kmh, 10.0, 1e-9);
+  // Points at x = 0,1,2,3: centroid 1.5, rms deviation sqrt(5)/2.
+  EXPECT_NEAR(stats.radius_of_gyration_km, std::sqrt(5.0) / 2.0, 1e-9);
+}
+
+TEST(Analyze, StationaryTrajectoryHasZeroGyration) {
+  Trajectory t;
+  for (int i = 0; i < 5; ++i) t.points.push_back({{2.0, 2.0}, i * 60});
+  const TrajectoryStats stats = analyze(t);
+  EXPECT_DOUBLE_EQ(stats.total_distance_km, 0.0);
+  EXPECT_DOUBLE_EQ(stats.radius_of_gyration_km, 0.0);
+}
+
+TEST(Analyze, GeneratedTaxisHavePlausibleStats) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 3);
+  common::Rng rng(5);
+  TaxiConfig config;
+  config.num_taxis = 10;
+  config.points_per_taxi = 40;
+  for (const Trajectory& t :
+       generate_taxi_trajectories(city, config, rng)) {
+    const TrajectoryStats stats = analyze(t);
+    EXPECT_GT(stats.total_distance_km, 0.0);
+    EXPECT_GT(stats.duration_hours, 0.0);
+    EXPECT_LT(stats.mean_speed_kmh, config.max_speed_kmh + 30.0);
+    EXPECT_LE(stats.radius_of_gyration_km,
+              std::hypot(8.0, 8.0));  // inside the city
+  }
+}
+
+TEST(StayPoints, DetectsADwellBetweenTrips) {
+  Trajectory t;
+  TimeSec now = 0;
+  // Drive away...
+  for (int i = 0; i < 3; ++i) {
+    t.points.push_back({{static_cast<double>(i), 0.0}, now});
+    now += 120;
+  }
+  // ...then dwell 30 minutes within 100 m...
+  for (int i = 0; i < 10; ++i) {
+    t.points.push_back({{3.0 + 0.01 * (i % 2), 0.0}, now});
+    now += 200;
+  }
+  // ...then drive on.
+  for (int i = 0; i < 3; ++i) {
+    t.points.push_back({{4.0 + i, 0.0}, now});
+    now += 120;
+  }
+  const auto stays = detect_stay_points(t, 0.2, 20 * 60);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].center.x, 3.005, 0.01);
+  EXPECT_GE(stays[0].dwell(), 20 * 60);
+}
+
+TEST(StayPoints, NoStayWhenAlwaysMoving) {
+  Trajectory t;
+  for (int i = 0; i < 20; ++i) {
+    t.points.push_back({{0.5 * i, 0.0}, i * 120});
+  }
+  EXPECT_TRUE(detect_stay_points(t, 0.2, 10 * 60).empty());
+}
+
+TEST(StayPoints, ShortDwellIsIgnored) {
+  Trajectory t;
+  TimeSec now = 0;
+  for (int i = 0; i < 5; ++i) {
+    t.points.push_back({{1.0, 1.0}, now});
+    now += 60;  // only 4 minutes total
+  }
+  EXPECT_TRUE(detect_stay_points(t, 0.2, 10 * 60).empty());
+}
+
+TEST(StayPoints, WholeTrajectoryStationaryIsOneStay) {
+  Trajectory t;
+  for (int i = 0; i < 30; ++i) {
+    t.points.push_back({{1.0, 1.0}, i * 120});
+  }
+  const auto stays = detect_stay_points(t, 0.2, 10 * 60);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].arrival, 0);
+  EXPECT_EQ(stays[0].departure, 29 * 120);
+}
+
+}  // namespace
+}  // namespace poiprivacy::traj

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "poi/city_model.h"
+#include "traj/generators.h"
+#include "traj/trajectory.h"
+
+namespace poiprivacy::traj {
+namespace {
+
+poi::City make_city() { return poi::generate_city(poi::test_preset(), 21); }
+
+TEST(Time, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(3600), 1);
+  EXPECT_EQ(hour_of_day(23 * 3600 + 3599), 23);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay), 0);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay + 7200), 2);
+}
+
+TEST(Time, DayOfWeek) {
+  EXPECT_EQ(day_of_week(0), 0);
+  EXPECT_EQ(day_of_week(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_of_week(kSecondsPerDay), 1);
+  EXPECT_EQ(day_of_week(6 * kSecondsPerDay + 5), 6);
+  EXPECT_EQ(day_of_week(kSecondsPerWeek), 0);
+}
+
+TEST(Time, NegativeTimesWrapCorrectly) {
+  EXPECT_EQ(hour_of_day(-1), 23);
+  EXPECT_EQ(day_of_week(-1), 6);
+}
+
+TEST(TaxiGenerator, ProducesRequestedShape) {
+  const poi::City city = make_city();
+  common::Rng rng(5);
+  TaxiConfig config;
+  config.num_taxis = 7;
+  config.points_per_taxi = 25;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  ASSERT_EQ(trajectories.size(), 7u);
+  for (const Trajectory& t : trajectories) {
+    EXPECT_EQ(t.points.size(), 25u);
+    for (const TrackPoint& p : t.points) {
+      EXPECT_TRUE(city.db.bounds().contains(p.pos));
+    }
+  }
+}
+
+TEST(TaxiGenerator, TimestampsStrictlyIncreaseWithinGaps) {
+  const poi::City city = make_city();
+  common::Rng rng(6);
+  TaxiConfig config;
+  config.num_taxis = 5;
+  config.points_per_taxi = 30;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 1; i < t.points.size(); ++i) {
+      const TimeSec gap = t.points[i].time - t.points[i - 1].time;
+      EXPECT_GE(gap, config.min_sample_gap);
+      EXPECT_LE(gap, config.max_sample_gap);
+    }
+  }
+}
+
+TEST(TaxiGenerator, SpeedsArePhysical) {
+  const poi::City city = make_city();
+  common::Rng rng(7);
+  TaxiConfig config;
+  config.num_taxis = 10;
+  config.points_per_taxi = 40;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 1; i < t.points.size(); ++i) {
+      const double km = geo::distance(t.points[i].pos, t.points[i - 1].pos);
+      const double hours =
+          static_cast<double>(t.points[i].time - t.points[i - 1].time) /
+          3600.0;
+      // Straight-line displacement cannot exceed max speed plus jitter.
+      EXPECT_LE(km / hours, config.max_speed_kmh + 25.0);
+    }
+  }
+}
+
+TEST(CheckinGenerator, ChecksInNearPois) {
+  const poi::City city = make_city();
+  common::Rng rng(8);
+  CheckinConfig config;
+  config.num_users = 6;
+  config.checkins_per_user = 15;
+  config.position_noise_km = 0.05;
+  const auto trajectories = generate_checkins(city, config, rng);
+  ASSERT_EQ(trajectories.size(), 6u);
+  for (const Trajectory& t : trajectories) {
+    EXPECT_EQ(t.points.size(), 15u);
+    for (const TrackPoint& p : t.points) {
+      // Every check-in must be close to some POI (4 sigma + slack).
+      double best = 1e18;
+      for (const poi::Poi& poi : city.db.pois()) {
+        best = std::min(best, geo::distance(poi.pos, p.pos));
+      }
+      EXPECT_LT(best, 0.5);
+    }
+  }
+}
+
+TEST(CheckinGenerator, GapsWithinConfiguredRange) {
+  const poi::City city = make_city();
+  common::Rng rng(9);
+  CheckinConfig config;
+  config.num_users = 4;
+  config.checkins_per_user = 10;
+  const auto trajectories = generate_checkins(city, config, rng);
+  for (const Trajectory& t : trajectories) {
+    for (std::size_t i = 1; i < t.points.size(); ++i) {
+      const TimeSec gap = t.points[i].time - t.points[i - 1].time;
+      EXPECT_GE(gap, config.min_gap);
+      EXPECT_LE(gap, config.max_gap);
+    }
+  }
+}
+
+TEST(SampleLocations, ExactCountWithoutReplacement) {
+  const poi::City city = make_city();
+  common::Rng rng(10);
+  TaxiConfig config;
+  config.num_taxis = 4;
+  config.points_per_taxi = 20;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  const auto sample = sample_locations(trajectories, 30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+}
+
+TEST(SampleLocations, RequestingMoreThanPoolReturnsPool) {
+  const poi::City city = make_city();
+  common::Rng rng(11);
+  TaxiConfig config;
+  config.num_taxis = 2;
+  config.points_per_taxi = 5;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  const auto sample = sample_locations(trajectories, 1000, rng);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(SampleLocations, EmptyInputGivesEmptyOutput) {
+  common::Rng rng(12);
+  EXPECT_TRUE(sample_locations({}, 5, rng).empty());
+}
+
+TEST(ReleasePairs, RespectGapAndChangeRequirements) {
+  const poi::City city = make_city();
+  common::Rng rng(13);
+  TaxiConfig config;
+  config.num_taxis = 12;
+  config.points_per_taxi = 30;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  const double r = 0.8;
+  const TimeSec max_gap = 600;
+  const auto pairs = extract_release_pairs(trajectories, city.db, r, max_gap);
+  EXPECT_FALSE(pairs.empty());
+  for (const ReleasePair& pair : pairs) {
+    EXPECT_GT(pair.duration(), 0);
+    EXPECT_LE(pair.duration(), max_gap);
+    EXPECT_NE(city.db.freq(pair.first, r), city.db.freq(pair.second, r));
+    EXPECT_GE(pair.distance_km(), 0.0);
+  }
+}
+
+TEST(ReleasePairs, LargeGapsAreExcluded) {
+  const poi::City city = make_city();
+  common::Rng rng(14);
+  TaxiConfig config;
+  config.num_taxis = 5;
+  config.points_per_taxi = 20;
+  config.min_sample_gap = 700;  // all gaps exceed the pair threshold
+  config.max_sample_gap = 900;
+  const auto trajectories = generate_taxi_trajectories(city, config, rng);
+  EXPECT_TRUE(extract_release_pairs(trajectories, city.db, 0.8, 600).empty());
+}
+
+}  // namespace
+}  // namespace poiprivacy::traj

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+#include "defense/opt_defense.h"
+#include "cloak/kcloak.h"
+
+#include "eval/uniqueness.h"
+#include "poi/city_model.h"
+
+namespace poiprivacy::eval {
+namespace {
+
+poi::City make_city() { return poi::generate_city(poi::test_preset(), 7); }
+
+TEST(Uniqueness, MapCoversTheCity) {
+  const poi::City city = make_city();
+  const UniquenessMap map = analyze_uniqueness(city.db, 0.8, 1.0);
+  EXPECT_EQ(map.nx, 8);
+  EXPECT_EQ(map.ny, 8);
+  EXPECT_EQ(map.cells.size(), 64u);
+  EXPECT_EQ(map.count(CellOutcome::kEmpty) + map.count(CellOutcome::kUnique) +
+                map.count(CellOutcome::kAmbiguous),
+            map.cells.size());
+}
+
+TEST(Uniqueness, RatioIsBetweenZeroAndOne) {
+  const poi::City city = make_city();
+  for (const double r : {0.4, 0.8, 1.6}) {
+    const UniquenessMap map = analyze_uniqueness(city.db, r, 0.8);
+    EXPECT_GE(map.uniqueness_ratio(), 0.0);
+    EXPECT_LE(map.uniqueness_ratio(), 1.0);
+  }
+}
+
+TEST(Uniqueness, DenseCityHasFewEmptyCellsAtLargeRange) {
+  const poi::City city = make_city();
+  const UniquenessMap map = analyze_uniqueness(city.db, 2.0, 1.0);
+  // At r=2 km in an 8x8 km city with 800 POIs, essentially every probe
+  // sees at least one POI.
+  EXPECT_LE(map.count(CellOutcome::kEmpty), 3u);
+}
+
+TEST(Uniqueness, EmptyDatabaseIsAllEmpty) {
+  poi::PoiTypeRegistry registry;
+  registry.intern("lonely");
+  const poi::PoiDatabase db("empty", {}, std::move(registry),
+                            {0.0, 0.0, 4.0, 4.0});
+  const UniquenessMap map = analyze_uniqueness(db, 1.0, 1.0);
+  EXPECT_EQ(map.count(CellOutcome::kEmpty), map.cells.size());
+  EXPECT_DOUBLE_EQ(map.uniqueness_ratio(), 0.0);
+}
+
+TEST(Uniqueness, SingletonCityIsUniqueNearThePoi) {
+  poi::PoiTypeRegistry registry;
+  const poi::TypeId t = registry.intern("beacon");
+  std::vector<poi::Poi> pois{{0, t, {2.0, 2.0}}};
+  const poi::PoiDatabase db("beacon", std::move(pois), std::move(registry),
+                            {0.0, 0.0, 4.0, 4.0});
+  const UniquenessMap map = analyze_uniqueness(db, 1.0, 1.0);
+  EXPECT_GE(map.count(CellOutcome::kUnique), 1u);
+  EXPECT_EQ(map.count(CellOutcome::kAmbiguous), 0u);
+  EXPECT_DOUBLE_EQ(map.uniqueness_ratio(), 1.0);
+}
+
+TEST(Uniqueness, AsciiRenderingHasOneRowPerCellRow) {
+  const poi::City city = make_city();
+  const UniquenessMap map = analyze_uniqueness(city.db, 0.8, 1.0);
+  const std::string art = render_ascii(map);
+  std::size_t newlines = 0;
+  for (const char c : art) newlines += c == '\n';
+  EXPECT_EQ(newlines, static_cast<std::size_t>(map.ny));
+  EXPECT_EQ(art.size(), static_cast<std::size_t>(map.ny) * (map.nx + 1));
+  // Only the three legend characters are allowed.
+  for (const char c : art) {
+    EXPECT_TRUE(c == '#' || c == '.' || c == ' ' || c == '\n');
+  }
+}
+
+TEST(Uniqueness, FinerGridRefinesTheRatioSmoothly) {
+  const poi::City city = make_city();
+  const UniquenessMap coarse = analyze_uniqueness(city.db, 0.8, 2.0);
+  const UniquenessMap fine = analyze_uniqueness(city.db, 0.8, 0.5);
+  // Sampling noise aside, both resolutions estimate the same quantity.
+  EXPECT_NEAR(coarse.uniqueness_ratio(), fine.uniqueness_ratio(), 0.3);
+}
+
+TEST(DpNoiseKind, GeometricVariantReleasesValidVectors) {
+  const poi::City city = make_city();
+  common::Rng pop_rng(3);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(city.db.bounds(), 500, pop_rng),
+      city.db.bounds());
+  defense::DpDefenseConfig config;
+  config.noise = defense::DpNoiseKind::kGeometric;
+  config.epsilon = 1.0;
+  const defense::DpDefense defense(city.db, cloaker, config);
+  common::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const poi::FrequencyVector released =
+        defense.release({rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)}, 1.0,
+                        rng);
+    ASSERT_EQ(released.size(), city.db.num_types());
+    for (const auto v : released) EXPECT_GE(v, 0);
+  }
+}
+
+}  // namespace
+}  // namespace poiprivacy::eval
