@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dp_noise"
+  "../bench/ablation_dp_noise.pdb"
+  "CMakeFiles/ablation_dp_noise.dir/ablation_dp_noise.cpp.o"
+  "CMakeFiles/ablation_dp_noise.dir/ablation_dp_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_recovery_models.cpp" "bench-build/CMakeFiles/ablation_recovery_models.dir/ablation_recovery_models.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_recovery_models.dir/ablation_recovery_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/poi_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/poi_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/poi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/poi_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/poi_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloak/CMakeFiles/poi_cloak.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/poi_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/poi_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/poi_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/poi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

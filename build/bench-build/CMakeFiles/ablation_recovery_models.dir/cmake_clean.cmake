@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recovery_models"
+  "../bench/ablation_recovery_models.pdb"
+  "CMakeFiles/ablation_recovery_models.dir/ablation_recovery_models.cpp.o"
+  "CMakeFiles/ablation_recovery_models.dir/ablation_recovery_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

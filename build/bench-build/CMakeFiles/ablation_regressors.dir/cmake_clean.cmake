@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regressors"
+  "../bench/ablation_regressors.pdb"
+  "CMakeFiles/ablation_regressors.dir/ablation_regressors.cpp.o"
+  "CMakeFiles/ablation_regressors.dir/ablation_regressors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_robust_attack"
+  "../bench/ablation_robust_attack.pdb"
+  "CMakeFiles/ablation_robust_attack.dir/ablation_robust_attack.cpp.o"
+  "CMakeFiles/ablation_robust_attack.dir/ablation_robust_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robust_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

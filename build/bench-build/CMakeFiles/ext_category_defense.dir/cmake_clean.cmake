@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_category_defense"
+  "../bench/ext_category_defense.pdb"
+  "CMakeFiles/ext_category_defense.dir/ext_category_defense.cpp.o"
+  "CMakeFiles/ext_category_defense.dir/ext_category_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_category_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

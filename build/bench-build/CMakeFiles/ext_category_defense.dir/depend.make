@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_category_defense.
+# This may be replaced when dependencies are built.

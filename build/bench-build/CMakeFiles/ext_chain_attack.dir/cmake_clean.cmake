@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_chain_attack"
+  "../bench/ext_chain_attack.pdb"
+  "CMakeFiles/ext_chain_attack.dir/ext_chain_attack.cpp.o"
+  "CMakeFiles/ext_chain_attack.dir/ext_chain_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chain_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_sanitize_accuracy"
+  "../bench/fig02_sanitize_accuracy.pdb"
+  "CMakeFiles/fig02_sanitize_accuracy.dir/fig02_sanitize_accuracy.cpp.o"
+  "CMakeFiles/fig02_sanitize_accuracy.dir/fig02_sanitize_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sanitize_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

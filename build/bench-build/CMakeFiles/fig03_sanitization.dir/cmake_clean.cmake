@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_sanitization"
+  "../bench/fig03_sanitization.pdb"
+  "CMakeFiles/fig03_sanitization.dir/fig03_sanitization.cpp.o"
+  "CMakeFiles/fig03_sanitization.dir/fig03_sanitization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sanitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_geoind"
+  "../bench/fig04_geoind.pdb"
+  "CMakeFiles/fig04_geoind.dir/fig04_geoind.cpp.o"
+  "CMakeFiles/fig04_geoind.dir/fig04_geoind.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_geoind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_kcloak"
+  "../bench/fig05_kcloak.pdb"
+  "CMakeFiles/fig05_kcloak.dir/fig05_kcloak.cpp.o"
+  "CMakeFiles/fig05_kcloak.dir/fig05_kcloak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_kcloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_finegrained_cdf"
+  "../bench/fig06_finegrained_cdf.pdb"
+  "CMakeFiles/fig06_finegrained_cdf.dir/fig06_finegrained_cdf.cpp.o"
+  "CMakeFiles/fig06_finegrained_cdf.dir/fig06_finegrained_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_finegrained_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_finegrained_cdf.
+# This may be replaced when dependencies are built.

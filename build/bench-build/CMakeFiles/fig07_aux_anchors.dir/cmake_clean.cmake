@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_aux_anchors"
+  "../bench/fig07_aux_anchors.pdb"
+  "CMakeFiles/fig07_aux_anchors.dir/fig07_aux_anchors.cpp.o"
+  "CMakeFiles/fig07_aux_anchors.dir/fig07_aux_anchors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_aux_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_aux_anchors.
+# This may be replaced when dependencies are built.

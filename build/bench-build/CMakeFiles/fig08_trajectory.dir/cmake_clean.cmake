@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_trajectory"
+  "../bench/fig08_trajectory.pdb"
+  "CMakeFiles/fig08_trajectory.dir/fig08_trajectory.cpp.o"
+  "CMakeFiles/fig08_trajectory.dir/fig08_trajectory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

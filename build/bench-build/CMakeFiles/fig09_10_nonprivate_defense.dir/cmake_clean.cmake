@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_10_nonprivate_defense"
+  "../bench/fig09_10_nonprivate_defense.pdb"
+  "CMakeFiles/fig09_10_nonprivate_defense.dir/fig09_10_nonprivate_defense.cpp.o"
+  "CMakeFiles/fig09_10_nonprivate_defense.dir/fig09_10_nonprivate_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_nonprivate_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

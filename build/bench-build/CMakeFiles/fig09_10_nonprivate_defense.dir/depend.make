@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_10_nonprivate_defense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_12_dp_defense"
+  "../bench/fig11_12_dp_defense.pdb"
+  "CMakeFiles/fig11_12_dp_defense.dir/fig11_12_dp_defense.cpp.o"
+  "CMakeFiles/fig11_12_dp_defense.dir/fig11_12_dp_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_dp_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_12_dp_defense.
+# This may be replaced when dependencies are built.

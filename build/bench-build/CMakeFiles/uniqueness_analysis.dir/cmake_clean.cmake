@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/uniqueness_analysis"
+  "../bench/uniqueness_analysis.pdb"
+  "CMakeFiles/uniqueness_analysis.dir/uniqueness_analysis.cpp.o"
+  "CMakeFiles/uniqueness_analysis.dir/uniqueness_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqueness_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

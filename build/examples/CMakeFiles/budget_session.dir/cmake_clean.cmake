@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_session.dir/budget_session.cpp.o"
+  "CMakeFiles/budget_session.dir/budget_session.cpp.o.d"
+  "budget_session"
+  "budget_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

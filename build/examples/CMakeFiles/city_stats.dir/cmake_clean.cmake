@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_stats.dir/city_stats.cpp.o"
+  "CMakeFiles/city_stats.dir/city_stats.cpp.o.d"
+  "city_stats"
+  "city_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

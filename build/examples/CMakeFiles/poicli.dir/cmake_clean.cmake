@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poicli.dir/poicli.cpp.o"
+  "CMakeFiles/poicli.dir/poicli.cpp.o.d"
+  "poicli"
+  "poicli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poicli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

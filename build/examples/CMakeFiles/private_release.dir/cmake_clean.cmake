@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_release.dir/private_release.cpp.o"
+  "CMakeFiles/private_release.dir/private_release.cpp.o.d"
+  "private_release"
+  "private_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reidentify_city.dir/reidentify_city.cpp.o"
+  "CMakeFiles/reidentify_city.dir/reidentify_city.cpp.o.d"
+  "reidentify_city"
+  "reidentify_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reidentify_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_attack_demo.dir/trajectory_attack_demo.cpp.o"
+  "CMakeFiles/trajectory_attack_demo.dir/trajectory_attack_demo.cpp.o.d"
+  "trajectory_attack_demo"
+  "trajectory_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqueness_map.dir/uniqueness_map.cpp.o"
+  "CMakeFiles/uniqueness_map.dir/uniqueness_map.cpp.o.d"
+  "uniqueness_map"
+  "uniqueness_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqueness_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("spatial")
+subdirs("poi")
+subdirs("traj")
+subdirs("ml")
+subdirs("dp")
+subdirs("cloak")
+subdirs("opt")
+subdirs("attack")
+subdirs("defense")
+subdirs("eval")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/chain_attack.cpp" "src/attack/CMakeFiles/poi_attack.dir/chain_attack.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/chain_attack.cpp.o.d"
+  "/root/repo/src/attack/fine_grained.cpp" "src/attack/CMakeFiles/poi_attack.dir/fine_grained.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/fine_grained.cpp.o.d"
+  "/root/repo/src/attack/fingerprint.cpp" "src/attack/CMakeFiles/poi_attack.dir/fingerprint.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/attack/recovery.cpp" "src/attack/CMakeFiles/poi_attack.dir/recovery.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/recovery.cpp.o.d"
+  "/root/repo/src/attack/region_reid.cpp" "src/attack/CMakeFiles/poi_attack.dir/region_reid.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/region_reid.cpp.o.d"
+  "/root/repo/src/attack/robust_reid.cpp" "src/attack/CMakeFiles/poi_attack.dir/robust_reid.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/robust_reid.cpp.o.d"
+  "/root/repo/src/attack/trajectory_attack.cpp" "src/attack/CMakeFiles/poi_attack.dir/trajectory_attack.cpp.o" "gcc" "src/attack/CMakeFiles/poi_attack.dir/trajectory_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poi/CMakeFiles/poi_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/poi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/poi_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/poi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_attack.dir/chain_attack.cpp.o"
+  "CMakeFiles/poi_attack.dir/chain_attack.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/fine_grained.cpp.o"
+  "CMakeFiles/poi_attack.dir/fine_grained.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/fingerprint.cpp.o"
+  "CMakeFiles/poi_attack.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/recovery.cpp.o"
+  "CMakeFiles/poi_attack.dir/recovery.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/region_reid.cpp.o"
+  "CMakeFiles/poi_attack.dir/region_reid.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/robust_reid.cpp.o"
+  "CMakeFiles/poi_attack.dir/robust_reid.cpp.o.d"
+  "CMakeFiles/poi_attack.dir/trajectory_attack.cpp.o"
+  "CMakeFiles/poi_attack.dir/trajectory_attack.cpp.o.d"
+  "libpoi_attack.a"
+  "libpoi_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_cloak.dir/kcloak.cpp.o"
+  "CMakeFiles/poi_cloak.dir/kcloak.cpp.o.d"
+  "libpoi_cloak.a"
+  "libpoi_cloak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_cloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_common.dir/flags.cpp.o"
+  "CMakeFiles/poi_common.dir/flags.cpp.o.d"
+  "CMakeFiles/poi_common.dir/rng.cpp.o"
+  "CMakeFiles/poi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/poi_common.dir/stats.cpp.o"
+  "CMakeFiles/poi_common.dir/stats.cpp.o.d"
+  "libpoi_common.a"
+  "libpoi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

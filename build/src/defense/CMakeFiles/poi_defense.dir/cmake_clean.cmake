@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_defense.dir/opt_defense.cpp.o"
+  "CMakeFiles/poi_defense.dir/opt_defense.cpp.o.d"
+  "CMakeFiles/poi_defense.dir/sanitizer.cpp.o"
+  "CMakeFiles/poi_defense.dir/sanitizer.cpp.o.d"
+  "CMakeFiles/poi_defense.dir/session.cpp.o"
+  "CMakeFiles/poi_defense.dir/session.cpp.o.d"
+  "libpoi_defense.a"
+  "libpoi_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

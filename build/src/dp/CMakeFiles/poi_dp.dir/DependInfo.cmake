@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/accountant.cpp" "src/dp/CMakeFiles/poi_dp.dir/accountant.cpp.o" "gcc" "src/dp/CMakeFiles/poi_dp.dir/accountant.cpp.o.d"
+  "/root/repo/src/dp/discrete.cpp" "src/dp/CMakeFiles/poi_dp.dir/discrete.cpp.o" "gcc" "src/dp/CMakeFiles/poi_dp.dir/discrete.cpp.o.d"
+  "/root/repo/src/dp/mechanisms.cpp" "src/dp/CMakeFiles/poi_dp.dir/mechanisms.cpp.o" "gcc" "src/dp/CMakeFiles/poi_dp.dir/mechanisms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

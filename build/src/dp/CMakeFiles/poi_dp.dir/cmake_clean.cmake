@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_dp.dir/accountant.cpp.o"
+  "CMakeFiles/poi_dp.dir/accountant.cpp.o.d"
+  "CMakeFiles/poi_dp.dir/discrete.cpp.o"
+  "CMakeFiles/poi_dp.dir/discrete.cpp.o.d"
+  "CMakeFiles/poi_dp.dir/mechanisms.cpp.o"
+  "CMakeFiles/poi_dp.dir/mechanisms.cpp.o.d"
+  "libpoi_dp.a"
+  "libpoi_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

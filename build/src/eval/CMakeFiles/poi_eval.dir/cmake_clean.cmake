@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_eval.dir/datasets.cpp.o"
+  "CMakeFiles/poi_eval.dir/datasets.cpp.o.d"
+  "CMakeFiles/poi_eval.dir/runner.cpp.o"
+  "CMakeFiles/poi_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/poi_eval.dir/table.cpp.o"
+  "CMakeFiles/poi_eval.dir/table.cpp.o.d"
+  "CMakeFiles/poi_eval.dir/uniqueness.cpp.o"
+  "CMakeFiles/poi_eval.dir/uniqueness.cpp.o.d"
+  "libpoi_eval.a"
+  "libpoi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoi_eval.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geometry.cpp" "src/geo/CMakeFiles/poi_geo.dir/geometry.cpp.o" "gcc" "src/geo/CMakeFiles/poi_geo.dir/geometry.cpp.o.d"
+  "/root/repo/src/geo/hull.cpp" "src/geo/CMakeFiles/poi_geo.dir/hull.cpp.o" "gcc" "src/geo/CMakeFiles/poi_geo.dir/hull.cpp.o.d"
+  "/root/repo/src/geo/latlon.cpp" "src/geo/CMakeFiles/poi_geo.dir/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/poi_geo.dir/latlon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_geo.dir/geometry.cpp.o"
+  "CMakeFiles/poi_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/poi_geo.dir/hull.cpp.o"
+  "CMakeFiles/poi_geo.dir/hull.cpp.o.d"
+  "CMakeFiles/poi_geo.dir/latlon.cpp.o"
+  "CMakeFiles/poi_geo.dir/latlon.cpp.o.d"
+  "libpoi_geo.a"
+  "libpoi_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/poi_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/ml/CMakeFiles/poi_ml.dir/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/kernel.cpp.o.d"
+  "/root/repo/src/ml/kernel_ridge.cpp" "src/ml/CMakeFiles/poi_ml.dir/kernel_ridge.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/kernel_ridge.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/poi_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/poi_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/poi_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/svr.cpp.o.d"
+  "/root/repo/src/ml/validation.cpp" "src/ml/CMakeFiles/poi_ml.dir/validation.cpp.o" "gcc" "src/ml/CMakeFiles/poi_ml.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_ml.dir/dataset.cpp.o"
+  "CMakeFiles/poi_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/kernel.cpp.o"
+  "CMakeFiles/poi_ml.dir/kernel.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/kernel_ridge.cpp.o"
+  "CMakeFiles/poi_ml.dir/kernel_ridge.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/logistic.cpp.o"
+  "CMakeFiles/poi_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/svm.cpp.o"
+  "CMakeFiles/poi_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/svr.cpp.o"
+  "CMakeFiles/poi_ml.dir/svr.cpp.o.d"
+  "CMakeFiles/poi_ml.dir/validation.cpp.o"
+  "CMakeFiles/poi_ml.dir/validation.cpp.o.d"
+  "libpoi_ml.a"
+  "libpoi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

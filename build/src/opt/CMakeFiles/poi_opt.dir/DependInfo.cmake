@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/distortion.cpp" "src/opt/CMakeFiles/poi_opt.dir/distortion.cpp.o" "gcc" "src/opt/CMakeFiles/poi_opt.dir/distortion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poi/CMakeFiles/poi_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/poi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_opt.dir/distortion.cpp.o"
+  "CMakeFiles/poi_opt.dir/distortion.cpp.o.d"
+  "libpoi_opt.a"
+  "libpoi_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi/categories.cpp" "src/poi/CMakeFiles/poi_poi.dir/categories.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/categories.cpp.o.d"
+  "/root/repo/src/poi/city_model.cpp" "src/poi/CMakeFiles/poi_poi.dir/city_model.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/city_model.cpp.o.d"
+  "/root/repo/src/poi/csv.cpp" "src/poi/CMakeFiles/poi_poi.dir/csv.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/csv.cpp.o.d"
+  "/root/repo/src/poi/database.cpp" "src/poi/CMakeFiles/poi_poi.dir/database.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/database.cpp.o.d"
+  "/root/repo/src/poi/frequency.cpp" "src/poi/CMakeFiles/poi_poi.dir/frequency.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/frequency.cpp.o.d"
+  "/root/repo/src/poi/geojson.cpp" "src/poi/CMakeFiles/poi_poi.dir/geojson.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/geojson.cpp.o.d"
+  "/root/repo/src/poi/poi.cpp" "src/poi/CMakeFiles/poi_poi.dir/poi.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/poi.cpp.o.d"
+  "/root/repo/src/poi/statistics.cpp" "src/poi/CMakeFiles/poi_poi.dir/statistics.cpp.o" "gcc" "src/poi/CMakeFiles/poi_poi.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spatial/CMakeFiles/poi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_poi.dir/categories.cpp.o"
+  "CMakeFiles/poi_poi.dir/categories.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/city_model.cpp.o"
+  "CMakeFiles/poi_poi.dir/city_model.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/csv.cpp.o"
+  "CMakeFiles/poi_poi.dir/csv.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/database.cpp.o"
+  "CMakeFiles/poi_poi.dir/database.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/frequency.cpp.o"
+  "CMakeFiles/poi_poi.dir/frequency.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/geojson.cpp.o"
+  "CMakeFiles/poi_poi.dir/geojson.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/poi.cpp.o"
+  "CMakeFiles/poi_poi.dir/poi.cpp.o.d"
+  "CMakeFiles/poi_poi.dir/statistics.cpp.o"
+  "CMakeFiles/poi_poi.dir/statistics.cpp.o.d"
+  "libpoi_poi.a"
+  "libpoi_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

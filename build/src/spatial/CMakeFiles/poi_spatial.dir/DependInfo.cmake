@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/grid_index.cpp" "src/spatial/CMakeFiles/poi_spatial.dir/grid_index.cpp.o" "gcc" "src/spatial/CMakeFiles/poi_spatial.dir/grid_index.cpp.o.d"
+  "/root/repo/src/spatial/kdtree.cpp" "src/spatial/CMakeFiles/poi_spatial.dir/kdtree.cpp.o" "gcc" "src/spatial/CMakeFiles/poi_spatial.dir/kdtree.cpp.o.d"
+  "/root/repo/src/spatial/quadtree.cpp" "src/spatial/CMakeFiles/poi_spatial.dir/quadtree.cpp.o" "gcc" "src/spatial/CMakeFiles/poi_spatial.dir/quadtree.cpp.o.d"
+  "/root/repo/src/spatial/rtree.cpp" "src/spatial/CMakeFiles/poi_spatial.dir/rtree.cpp.o" "gcc" "src/spatial/CMakeFiles/poi_spatial.dir/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_spatial.dir/grid_index.cpp.o"
+  "CMakeFiles/poi_spatial.dir/grid_index.cpp.o.d"
+  "CMakeFiles/poi_spatial.dir/kdtree.cpp.o"
+  "CMakeFiles/poi_spatial.dir/kdtree.cpp.o.d"
+  "CMakeFiles/poi_spatial.dir/quadtree.cpp.o"
+  "CMakeFiles/poi_spatial.dir/quadtree.cpp.o.d"
+  "CMakeFiles/poi_spatial.dir/rtree.cpp.o"
+  "CMakeFiles/poi_spatial.dir/rtree.cpp.o.d"
+  "libpoi_spatial.a"
+  "libpoi_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/analysis.cpp" "src/traj/CMakeFiles/poi_traj.dir/analysis.cpp.o" "gcc" "src/traj/CMakeFiles/poi_traj.dir/analysis.cpp.o.d"
+  "/root/repo/src/traj/generators.cpp" "src/traj/CMakeFiles/poi_traj.dir/generators.cpp.o" "gcc" "src/traj/CMakeFiles/poi_traj.dir/generators.cpp.o.d"
+  "/root/repo/src/traj/trajectory.cpp" "src/traj/CMakeFiles/poi_traj.dir/trajectory.cpp.o" "gcc" "src/traj/CMakeFiles/poi_traj.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poi/CMakeFiles/poi_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/poi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/poi_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/poi_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_traj.dir/analysis.cpp.o"
+  "CMakeFiles/poi_traj.dir/analysis.cpp.o.d"
+  "CMakeFiles/poi_traj.dir/generators.cpp.o"
+  "CMakeFiles/poi_traj.dir/generators.cpp.o.d"
+  "CMakeFiles/poi_traj.dir/trajectory.cpp.o"
+  "CMakeFiles/poi_traj.dir/trajectory.cpp.o.d"
+  "libpoi_traj.a"
+  "libpoi_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

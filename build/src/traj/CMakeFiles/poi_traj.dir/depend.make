@@ -1,0 +1,2 @@
+# Empty dependencies file for poi_traj.
+# This may be replaced when dependencies are built.

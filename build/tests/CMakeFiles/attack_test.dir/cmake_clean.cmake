@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test.dir/attack_test.cpp.o"
+  "CMakeFiles/attack_test.dir/attack_test.cpp.o.d"
+  "attack_test"
+  "attack_test.pdb"
+  "attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categories_test.dir/categories_test.cpp.o"
+  "CMakeFiles/categories_test.dir/categories_test.cpp.o.d"
+  "categories_test"
+  "categories_test.pdb"
+  "categories_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

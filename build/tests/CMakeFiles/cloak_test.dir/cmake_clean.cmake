@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloak_test.dir/cloak_test.cpp.o"
+  "CMakeFiles/cloak_test.dir/cloak_test.cpp.o.d"
+  "cloak_test"
+  "cloak_test.pdb"
+  "cloak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_test.dir/defense_test.cpp.o"
+  "CMakeFiles/defense_test.dir/defense_test.cpp.o.d"
+  "defense_test"
+  "defense_test.pdb"
+  "defense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_attacks_test.dir/extension_attacks_test.cpp.o"
+  "CMakeFiles/extension_attacks_test.dir/extension_attacks_test.cpp.o.d"
+  "extension_attacks_test"
+  "extension_attacks_test.pdb"
+  "extension_attacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

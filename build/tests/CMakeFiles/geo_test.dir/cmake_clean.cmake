@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_test.dir/geo_test.cpp.o"
+  "CMakeFiles/geo_test.dir/geo_test.cpp.o.d"
+  "geo_test"
+  "geo_test.pdb"
+  "geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hull_test.dir/hull_test.cpp.o"
+  "CMakeFiles/hull_test.dir/hull_test.cpp.o.d"
+  "hull_test"
+  "hull_test.pdb"
+  "hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_test.dir/logistic_test.cpp.o"
+  "CMakeFiles/logistic_test.dir/logistic_test.cpp.o.d"
+  "logistic_test"
+  "logistic_test.pdb"
+  "logistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_test.dir/opt_test.cpp.o"
+  "CMakeFiles/opt_test.dir/opt_test.cpp.o.d"
+  "opt_test"
+  "opt_test.pdb"
+  "opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_test.dir/poi_test.cpp.o"
+  "CMakeFiles/poi_test.dir/poi_test.cpp.o.d"
+  "poi_test"
+  "poi_test.pdb"
+  "poi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

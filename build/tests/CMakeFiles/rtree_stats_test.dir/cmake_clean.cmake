@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_stats_test.dir/rtree_stats_test.cpp.o"
+  "CMakeFiles/rtree_stats_test.dir/rtree_stats_test.cpp.o.d"
+  "rtree_stats_test"
+  "rtree_stats_test.pdb"
+  "rtree_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

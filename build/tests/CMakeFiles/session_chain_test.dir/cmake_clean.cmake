@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_chain_test.dir/session_chain_test.cpp.o"
+  "CMakeFiles/session_chain_test.dir/session_chain_test.cpp.o.d"
+  "session_chain_test"
+  "session_chain_test.pdb"
+  "session_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

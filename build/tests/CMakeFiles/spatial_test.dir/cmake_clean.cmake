@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_test.dir/spatial_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial_test.cpp.o.d"
+  "spatial_test"
+  "spatial_test.pdb"
+  "spatial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_analysis_test.dir/traj_analysis_test.cpp.o"
+  "CMakeFiles/traj_analysis_test.dir/traj_analysis_test.cpp.o.d"
+  "traj_analysis_test"
+  "traj_analysis_test.pdb"
+  "traj_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_test.dir/traj_test.cpp.o"
+  "CMakeFiles/traj_test.dir/traj_test.cpp.o.d"
+  "traj_test"
+  "traj_test.pdb"
+  "traj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

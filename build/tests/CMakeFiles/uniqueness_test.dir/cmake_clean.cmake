@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqueness_test.dir/uniqueness_test.cpp.o"
+  "CMakeFiles/uniqueness_test.dir/uniqueness_test.cpp.o.d"
+  "uniqueness_test"
+  "uniqueness_test.pdb"
+  "uniqueness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqueness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

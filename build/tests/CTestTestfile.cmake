@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/poi_test[1]_include.cmake")
+include("/root/repo/build/tests/traj_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/cloak_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/uniqueness_test[1]_include.cmake")
+include("/root/repo/build/tests/hull_test[1]_include.cmake")
+include("/root/repo/build/tests/traj_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/session_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/categories_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/logistic_test[1]_include.cmake")
+include("/root/repo/build/tests/geojson_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
