@@ -36,16 +36,20 @@ int main(int argc, char** argv) {
       config.beta = beta;
       config.noise = noise;
       const defense::DpDefense defense(db, cloaker, config);
-      common::Rng rng(options.seed + static_cast<std::uint64_t>(eps * 100) +
-                      (noise == defense::DpNoiseKind::kGeometric ? 1 : 0));
-      const eval::ReleaseFn release = [&](geo::Point l, double radius) {
-        return defense.release(l, radius, rng);
-      };
+      const std::uint64_t release_seed =
+          options.seed + static_cast<std::uint64_t>(eps * 100) +
+          (noise == defense::DpNoiseKind::kGeometric ? 1 : 0);
+      const eval::SeededReleaseFn release =
+          [&](geo::Point l, double radius, common::Rng& rng) {
+            return defense.release(l, radius, rng);
+          };
       row.push_back(common::fmt(
-          eval::evaluate_attack(db, workbench.locations(kind), r, release)
+          eval::evaluate_attack(db, workbench.locations(kind), r, release,
+                                release_seed)
               .success_rate()));
       row.push_back(common::fmt(
-          eval::evaluate_utility(db, workbench.locations(kind), r, release)
+          eval::evaluate_utility(db, workbench.locations(kind), r, release,
+                                 release_seed)
               .mean_jaccard));
     }
     table.add_row(std::move(row));

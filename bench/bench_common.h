@@ -5,6 +5,9 @@
 //   --seed N        master seed (default 42)
 //   --locations N   locations per dataset (default 250; paper uses 1000)
 //   --full          paper-scale sample sizes (slower)
+//   --threads N     evaluation threads (default hardware_concurrency;
+//                   1 restores the serial path; results are identical
+//                   for every value)
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "eval/datasets.h"
 #include "eval/table.h"
@@ -23,12 +27,14 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   std::size_t locations = 250;
   bool full = false;
+  std::size_t threads = 1;
   common::Flags flags;
 
   BenchOptions(int argc, const char* const* argv,
                std::vector<std::string> extra_flags = {})
       : flags(argc, argv, [&extra_flags] {
-          std::vector<std::string> known{"seed", "locations", "full"};
+          std::vector<std::string> known{"seed", "locations", "full",
+                                         common::Flags::kThreadsFlag};
           known.insert(known.end(), extra_flags.begin(), extra_flags.end());
           return known;
         }()) {
@@ -37,6 +43,7 @@ struct BenchOptions {
     full = flags.get("full", false);
     locations = static_cast<std::size_t>(flags.get(
         "locations", static_cast<std::int64_t>(full ? 1000 : 250)));
+    threads = flags.apply_threads_flag();
   }
 
   eval::WorkbenchConfig workbench_config() const {
@@ -55,6 +62,7 @@ struct BenchOptions {
   void print_context(const std::string& what) const {
     std::cout << what << "\n";
     std::cout << "   seed=" << seed << " locations=" << locations
+              << " threads=" << threads
               << (full ? " (paper-scale --full run)" : " (reduced default run)")
               << "\n";
   }

@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
       int i = 0;
       for (const double eps : {0.1, 1.0}) {
         const defense::GeoIndDefense defense(db, eps, 0.1);
-        common::Rng rng(options.seed + static_cast<std::uint64_t>(eps * 100));
+        // Seeded release: each location draws from its own RNG substream,
+        // so the sweep is deterministic for any --threads value.
         const eval::AttackStats stats = eval::evaluate_attack(
             db, workbench.locations(kind), r,
-            [&](geo::Point l, double radius) {
+            [&](geo::Point l, double radius, common::Rng& rng) {
               return defense.release(l, radius, rng);
-            });
+            },
+            options.seed + static_cast<std::uint64_t>(eps * 100));
         rates[i++] = stats.success_rate();
       }
       const double mitigated =

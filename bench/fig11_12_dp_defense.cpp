@@ -57,16 +57,19 @@ int main(int argc, char** argv) {
         config.delta = delta;
         config.beta = beta;
         const defense::DpDefense defense(db, cloaker, config);
-        common::Rng rng(options.seed +
-                        static_cast<std::uint64_t>(eps * 1000 + beta * 100));
-        const eval::ReleaseFn release = [&](geo::Point l, double radius) {
-          return defense.release(l, radius, rng);
-        };
+        const std::uint64_t release_seed =
+            options.seed + static_cast<std::uint64_t>(eps * 1000 + beta * 100);
+        const eval::SeededReleaseFn release =
+            [&](geo::Point l, double radius, common::Rng& rng) {
+              return defense.release(l, radius, rng);
+            };
         success_row.push_back(common::fmt(
-            eval::evaluate_attack(db, workbench.locations(kind), r, release)
+            eval::evaluate_attack(db, workbench.locations(kind), r, release,
+                                  release_seed)
                 .success_rate()));
         utility_row.push_back(common::fmt(
-            eval::evaluate_utility(db, workbench.locations(kind), r, release)
+            eval::evaluate_utility(db, workbench.locations(kind), r, release,
+                                   release_seed)
                 .mean_jaccard));
       }
       success.add_row(std::move(success_row));

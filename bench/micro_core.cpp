@@ -4,11 +4,16 @@
 // DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string_view>
+
 #include "attack/fine_grained.h"
 #include "spatial/rtree.h"
 #include "attack/region_reid.h"
 #include "cloak/kcloak.h"
+#include "common/parallel.h"
 #include "defense/opt_defense.h"
+#include "eval/runner.h"
 #include "geo/geometry.h"
 #include "opt/distortion.h"
 #include "poi/city_model.h"
@@ -135,6 +140,42 @@ void BM_KCloak(benchmark::State& state) {
 }
 BENCHMARK(BM_KCloak)->Arg(2)->Arg(20)->Arg(50);
 
+// The evaluate-attack stage: the full parallel runner over a batch of
+// locations on the default synthetic city. Run with --threads N to compare
+// thread counts; the anchor cache persists across iterations, so steady-
+// state timings measure the parallel attack loop, not cache warmup.
+void BM_EvaluateAttack(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  std::vector<geo::Point> locations;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    locations.push_back(location_for(i));
+  }
+  const double r = 2.0;
+  const eval::ReleaseFn release = eval::identity_release(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::evaluate_attack(db, locations, r, release));
+  }
+  state.SetLabel("threads=" +
+                 std::to_string(common::default_thread_count()) +
+                 " locations=" + std::to_string(state.range(0)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvaluateAttack)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateFineGrained(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  std::vector<geo::Point> locations;
+  for (std::int64_t i = 0; i < 100; ++i) locations.push_back(location_for(i));
+  attack::FineGrainedConfig config;
+  config.area_resolution = 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::evaluate_fine_grained(db, locations, 2.0, config));
+  }
+  state.SetLabel("threads=" + std::to_string(common::default_thread_count()));
+}
+BENCHMARK(BM_EvaluateFineGrained)->Unit(benchmark::kMillisecond);
+
 void BM_DisksIntersectionArea(benchmark::State& state) {
   std::vector<geo::Circle> disks;
   for (int i = 0; i < 20; ++i) {
@@ -149,4 +190,32 @@ BENCHMARK(BM_DisksIntersectionArea)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects unknown flags, so pull out our
+// process-wide --threads N (default: hardware_concurrency) before handing
+// the rest to the benchmark runner.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::size_t threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<std::size_t>(
+          std::atoll(arg.substr(std::string_view("--threads=").size()).data()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  poiprivacy::common::set_default_thread_count(threads);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,7 @@
 // re-identifiable from POI aggregates at different query ranges, for both
 // cities and all four location datasets.
 //
-//   ./examples/reidentify_city [--seed N] [--locations N]
+//   ./examples/reidentify_city [--seed N] [--locations N] [--threads N]
 #include <iostream>
 
 #include "common/flags.h"
@@ -14,17 +14,19 @@
 using namespace poiprivacy;
 
 int main(int argc, char** argv) {
-  const common::Flags flags(argc, argv, {"seed", "locations"});
+  const common::Flags flags(argc, argv,
+                            {"seed", "locations", common::Flags::kThreadsFlag});
   eval::WorkbenchConfig config;
   config.seed = static_cast<std::uint64_t>(
       flags.get("seed", static_cast<std::int64_t>(42)));
   config.locations_per_dataset =
       static_cast<std::size_t>(flags.get("locations",
                                          static_cast<std::int64_t>(250)));
+  const std::size_t threads = flags.apply_threads_flag();
 
   std::cout << "building cities and datasets (seed " << config.seed
             << ", " << config.locations_per_dataset
-            << " locations per dataset)...\n";
+            << " locations per dataset, " << threads << " threads)...\n";
   const eval::Workbench bench(config);
 
   eval::print_section(std::cout,

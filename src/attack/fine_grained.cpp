@@ -89,7 +89,8 @@ FineGrainedResult FineGrainedAttack::infer(
   result.feasible_disks.push_back({anchor_pos, r});
 
   const std::vector<poi::PoiId> around = db_->query(anchor_pos, 2.0 * r);
-  const poi::FrequencyVector f_anchor = db_->freq(anchor_pos, 2.0 * r);
+  const poi::FrequencyVector& f_anchor =
+      db_->anchor_freq(result.major_anchor, 2.0 * r);
   const poi::FrequencyVector f_diff = poi::diff(f_anchor, released);
 
   // Bucket the anchor's neighbourhood by type once.
@@ -141,7 +142,7 @@ FineGrainedResult FineGrainedAttack::infer(
       if (f_diff[t] > config_.max_pruned_diff) continue;
       for (const poi::PoiId id : by_type[t]) {
         if (result.aux_anchors.size() >= config_.max_aux) break;
-        const poi::FrequencyVector f_p = db_->freq(db_->poi(id).pos, 2.0 * r);
+        const poi::FrequencyVector& f_p = db_->anchor_freq(id, 2.0 * r);
         if (poi::dominates(f_p, released)) consider(id);
       }
     }

@@ -23,8 +23,9 @@ ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
   if (!result.pivot_type) return result;
 
   for (const poi::PoiId candidate : db_->pois_of_type(*result.pivot_type)) {
-    const poi::FrequencyVector around =
-        db_->freq(db_->poi(candidate).pos, 2.0 * r);
+    // Cached: the same anchors are probed at the same 2r for every
+    // evaluated location, and this dominance scan is the attack's hot path.
+    const poi::FrequencyVector& around = db_->anchor_freq(candidate, 2.0 * r);
     if (poi::dominates(around, released)) {
       result.candidates.push_back(candidate);
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace poiprivacy::common {
 
 namespace {
@@ -60,6 +62,13 @@ double Flags::get(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::stod(it->second);
+}
+
+std::size_t Flags::apply_threads_flag() const {
+  const std::int64_t n = get(kThreadsFlag, std::int64_t{0});
+  if (n < 0) throw std::invalid_argument("--threads must be >= 1");
+  set_default_thread_count(static_cast<std::size_t>(n));
+  return default_thread_count();
 }
 
 bool Flags::get(const std::string& name, bool fallback) const {

@@ -29,6 +29,15 @@ class Flags {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Reads `--threads N` and installs it as the process-wide evaluation
+  /// concurrency (common::set_default_thread_count). Without the flag the
+  /// default stays hardware_concurrency; `--threads 1` restores the fully
+  /// serial path. Returns the effective thread count. Binaries that accept
+  /// the flag must list kThreadsFlag among their known flags.
+  std::size_t apply_threads_flag() const;
+
+  static constexpr const char* kThreadsFlag = "threads";
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -1,0 +1,130 @@
+// Deterministic parallel evaluation engine.
+//
+// A small reusable thread pool plus two primitives the eval runners are
+// built on:
+//
+//   * parallel_for_each(pool, n, chunk, fn) — runs fn(i) for i in [0, n),
+//     chunked into tasks of `chunk` consecutive indices. Tasks are claimed
+//     dynamically, so scheduling is load-balanced and NOT deterministic —
+//     callers must only write to per-index state.
+//   * ordered_reduce(pool, n, chunk, init, map, reduce) — maps every index
+//     in parallel into a per-index slot, then folds the slots strictly in
+//     index order on the calling thread. Because the fold order is fixed,
+//     the result (including floating-point rounding) is bit-identical for
+//     every thread count, and equal to the serial fold.
+//
+// The pool spawns `concurrency - 1` workers; the calling thread is the
+// remaining executor, so `concurrency == 1` is a pure inline serial path
+// with no threads, no locks and no allocation. Nested submissions from
+// inside a task run inline on the submitting thread (no deadlock). The
+// first exception thrown by a task cancels the remaining tasks and is
+// rethrown on the calling thread.
+//
+// The process-wide default concurrency is set from the `--threads` flag
+// (see common/flags.h); it defaults to std::thread::hardware_concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace poiprivacy::common {
+
+/// The process-wide default concurrency: the last value installed via
+/// set_default_thread_count, or std::thread::hardware_concurrency() (at
+/// least 1) if none was set.
+std::size_t default_thread_count() noexcept;
+
+/// Installs the process-wide default concurrency; 0 restores the
+/// hardware_concurrency default. Not safe to call concurrently with
+/// evaluation using the global pool.
+void set_default_thread_count(std::size_t n) noexcept;
+
+class ThreadPool {
+ public:
+  /// A pool with the given concurrency level (calling thread included):
+  /// `concurrency - 1` workers are spawned, 1 means fully inline serial.
+  explicit ThreadPool(std::size_t concurrency = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t concurrency() const noexcept { return concurrency_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks) and blocks until all tasks
+  /// finished. Task claiming order is unspecified. If a task throws, no
+  /// new tasks are started and the first exception is rethrown here.
+  /// Nested calls from inside a task run inline on the calling thread.
+  void run_tasks(std::size_t num_tasks,
+                 const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work_on_current_batch();
+
+  std::size_t concurrency_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t busy_workers_ = 0;
+
+  // Current batch (valid while fn_ != nullptr).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+
+  std::mutex run_mu_;  // serializes top-level run_tasks calls
+};
+
+/// The process-wide shared pool, sized to default_thread_count(). Lazily
+/// (re)built when the default changes; do not change the thread count
+/// while an evaluation is in flight.
+ThreadPool& global_pool();
+
+/// Runs fn(i) for i in [0, n), `chunk` consecutive indices per task.
+template <typename Fn>
+void parallel_for_each(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                       Fn&& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t num_tasks = (n + chunk - 1) / chunk;
+  const std::function<void(std::size_t)> task = [&](std::size_t t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  pool.run_tasks(num_tasks, task);
+}
+
+/// Parallel map + ordered serial fold: computes map(i) for every index in
+/// parallel, then returns reduce(...reduce(reduce(init, map(0)), map(1))...)
+/// folded strictly in index order, so the result is bit-identical to the
+/// serial computation for any thread count.
+template <typename T, typename Map, typename Reduce>
+T ordered_reduce(ThreadPool& pool, std::size_t n, std::size_t chunk, T init,
+                 Map&& map, Reduce&& reduce) {
+  using R = std::decay_t<decltype(map(std::size_t{0}))>;
+  std::vector<std::optional<R>> slots(n);
+  parallel_for_each(pool, n, chunk,
+                    [&](std::size_t i) { slots[i].emplace(map(i)); });
+  T acc = std::move(init);
+  for (std::optional<R>& slot : slots) {
+    acc = reduce(std::move(acc), std::move(*slot));
+  }
+  return acc;
+}
+
+}  // namespace poiprivacy::common

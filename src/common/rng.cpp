@@ -21,7 +21,7 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) noexcept {
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
 }
@@ -115,6 +115,13 @@ std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
 
 Rng Rng::fork() noexcept {
   return Rng{(*this)() ^ 0xd1b54a32d192ed03ULL};
+}
+
+Rng Rng::substream(std::uint64_t task_index) const noexcept {
+  // splitmix64 adds the golden-ratio increment before mixing, so index 0
+  // does not map to the base stream and nearby indices decorrelate fully.
+  std::uint64_t sm = task_index;
+  return Rng{seed_ ^ splitmix64(sm)};
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n,

@@ -67,6 +67,16 @@ class Rng {
   /// them changes its number of draws.
   Rng fork() noexcept;
 
+  /// Deterministic per-task stream splitter for parallel evaluation:
+  /// returns Rng(seed ^ splitmix64(index)), a function of the construction
+  /// seed and the task index only. Unlike fork() it does not advance this
+  /// generator's state, so every task gets the same stream no matter which
+  /// thread claims it or in which order tasks run.
+  Rng substream(std::uint64_t task_index) const noexcept;
+
+  /// The seed this generator was constructed from (substream's base).
+  std::uint64_t seed() const noexcept { return seed_; }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {
@@ -81,6 +91,7 @@ class Rng {
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
 
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

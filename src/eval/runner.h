@@ -1,6 +1,12 @@
 // Experiment runners shared by the bench binaries: evaluate the baseline
 // attack against an arbitrary release mechanism, the fine-grained attack,
 // and defense utility.
+//
+// All runners execute the per-location loop on the process-wide thread
+// pool (common/parallel.h, `--threads N`, default hardware_concurrency)
+// and combine per-location results with an ordered reduction, so every
+// stats object — counters, mean values, even the order of `areas_km2` —
+// is bit-identical for any thread count and equal to the serial run.
 #pragma once
 
 #include <functional>
@@ -8,24 +14,43 @@
 
 #include "attack/fine_grained.h"
 #include "attack/region_reid.h"
+#include "common/rng.h"
 #include "poi/database.h"
 
 namespace poiprivacy::eval {
 
 /// A release mechanism: what aggregate does the defender publish for a
 /// user at `l` querying radius `r`? The identity release is db.freq(l, r).
+/// Runners call it from multiple threads concurrently, so it must be
+/// thread-safe and a pure function of (l, r) — for randomized mechanisms
+/// use SeededReleaseFn, which gets a per-location RNG substream instead.
 using ReleaseFn =
     std::function<poi::FrequencyVector(geo::Point l, double r)>;
+
+/// A randomized release mechanism. The evaluation engine hands every
+/// location its own deterministic stream (`Rng(seed).substream(i)` for
+/// location index i), so results do not depend on thread count or
+/// scheduling order.
+using SeededReleaseFn = std::function<poi::FrequencyVector(
+    geo::Point l, double r, common::Rng& rng)>;
 
 /// The unprotected release.
 ReleaseFn identity_release(const poi::PoiDatabase& db);
 
 struct AttackStats {
+  /// Locations evaluated (every location counts, per Section II-D).
   std::size_t attempts = 0;
+  /// Released vector was all-zero: the attack has no pivot type and
+  /// cannot even start. Disjoint from `unique`.
+  std::size_t empty_releases = 0;
   /// |Phi| == 1 (the attack declared success).
   std::size_t unique = 0;
   /// |Phi| == 1 and the true location is within r of the anchor.
   std::size_t correct = 0;
+  /// Anchor-vector cache traffic attributable to this evaluation
+  /// (hits + misses == anchor lookups performed by the attack).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   double success_rate() const noexcept {
     return attempts ? static_cast<double>(correct) /
@@ -37,6 +62,16 @@ struct AttackStats {
                           static_cast<double>(attempts)
                     : 0.0;
   }
+  /// The counters form a chain of monotone invariants:
+  ///   correct <= unique <= attempts, and a location is either empty or
+  ///   attackable, so unique + empty_releases <= attempts.
+  bool counters_consistent() const noexcept {
+    return correct <= unique && unique <= attempts &&
+           empty_releases <= attempts &&
+           unique + empty_releases <= attempts;
+  }
+
+  friend bool operator==(const AttackStats&, const AttackStats&) = default;
 };
 
 /// Runs the baseline attack on each location's released aggregate.
@@ -44,14 +79,25 @@ AttackStats evaluate_attack(const poi::PoiDatabase& db,
                             std::span<const geo::Point> locations, double r,
                             const ReleaseFn& release);
 
+/// Same, for a randomized release: location i draws from
+/// Rng(release_seed).substream(i).
+AttackStats evaluate_attack(const poi::PoiDatabase& db,
+                            std::span<const geo::Point> locations, double r,
+                            const SeededReleaseFn& release,
+                            std::uint64_t release_seed);
+
 struct FineGrainedStats {
   std::size_t attempts = 0;
   std::size_t successes = 0;          ///< baseline stage unique
   std::size_t contains_truth = 0;     ///< feasible region covers the truth
-  std::vector<double> areas_km2;      ///< per successful attack
+  std::vector<double> areas_km2;      ///< per successful attack, in
+                                      ///< location order
   std::vector<double> aux_counts;     ///< anchors found per success
 
   double mean_area() const;
+
+  friend bool operator==(const FineGrainedStats&,
+                         const FineGrainedStats&) = default;
 };
 
 /// Runs the fine-grained attack on unprotected releases.
@@ -63,11 +109,20 @@ FineGrainedStats evaluate_fine_grained(const poi::PoiDatabase& db,
 struct UtilityStats {
   std::size_t samples = 0;
   double mean_jaccard = 0.0;  ///< Top-K Jaccard vs the unprotected vector
+
+  friend bool operator==(const UtilityStats&, const UtilityStats&) = default;
 };
 
 /// Mean Top-K Jaccard of a release mechanism against the truth.
 UtilityStats evaluate_utility(const poi::PoiDatabase& db,
                               std::span<const geo::Point> locations, double r,
                               const ReleaseFn& release, std::size_t top_k = 10);
+
+/// Same, for a randomized release (per-location RNG substreams).
+UtilityStats evaluate_utility(const poi::PoiDatabase& db,
+                              std::span<const geo::Point> locations, double r,
+                              const SeededReleaseFn& release,
+                              std::uint64_t release_seed,
+                              std::size_t top_k = 10);
 
 }  // namespace poiprivacy::eval

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace poiprivacy::eval {
 
 std::size_t UniquenessMap::count(CellOutcome outcome) const {
@@ -28,23 +30,28 @@ UniquenessMap analyze_uniqueness(const poi::PoiDatabase& db, double r,
   map.cells.resize(static_cast<std::size_t>(map.nx) * map.ny);
 
   const attack::RegionReidentifier reid(db);
-  for (int iy = 0; iy < map.ny; ++iy) {
-    for (int ix = 0; ix < map.nx; ++ix) {
-      const geo::Point probe{bounds.min_x + (ix + 0.5) * cell_km,
-                             bounds.min_y + (iy + 0.5) * cell_km};
-      const poi::FrequencyVector released = db.freq(probe, r);
-      CellOutcome outcome = CellOutcome::kAmbiguous;
-      if (poi::total(released) == 0) {
-        outcome = CellOutcome::kEmpty;
-      } else {
-        const attack::ReidResult result = reid.infer(released, r);
-        if (attack::attack_success(result, db, probe, r)) {
-          outcome = CellOutcome::kUnique;
+  // Each parallel task owns a row of disjoint cells, so the probe sweep is
+  // embarrassingly parallel and trivially thread-count-invariant.
+  common::parallel_for_each(
+      common::global_pool(), static_cast<std::size_t>(map.ny), 1,
+      [&](std::size_t row) {
+        const int iy = static_cast<int>(row);
+        for (int ix = 0; ix < map.nx; ++ix) {
+          const geo::Point probe{bounds.min_x + (ix + 0.5) * cell_km,
+                                 bounds.min_y + (iy + 0.5) * cell_km};
+          const poi::FrequencyVector released = db.freq(probe, r);
+          CellOutcome outcome = CellOutcome::kAmbiguous;
+          if (poi::total(released) == 0) {
+            outcome = CellOutcome::kEmpty;
+          } else {
+            const attack::ReidResult result = reid.infer(released, r);
+            if (attack::attack_success(result, db, probe, r)) {
+              outcome = CellOutcome::kUnique;
+            }
+          }
+          map.cells[static_cast<std::size_t>(iy) * map.nx + ix] = outcome;
         }
-      }
-      map.cells[static_cast<std::size_t>(iy) * map.nx + ix] = outcome;
-    }
-  }
+      });
   return map;
 }
 

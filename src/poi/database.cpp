@@ -1,10 +1,53 @@
 #include "poi/database.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cassert>
+#include <mutex>
 #include <numeric>
+#include <shared_mutex>
+#include <unordered_map>
 
 namespace poiprivacy::poi {
+
+// Sharded read-mostly cache for anchor frequency vectors, keyed by
+// (POI id, radius bits). Sharding keeps writer contention negligible while
+// the steady state is lock-cheap shared reads. Entries are never evicted:
+// the key space is bounded by |POIs| x |query radii in a run|, and the
+// attacks probe the same few radii thousands of times each.
+struct PoiDatabase::AnchorCache {
+  struct Key {
+    PoiId id;
+    std::uint64_t radius_bits;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // splitmix64 finalizer over the packed key.
+      std::uint64_t z = k.radius_bits ^ (static_cast<std::uint64_t>(k.id) *
+                                         0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<Key, FrequencyVector, KeyHash> entries;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards;
+
+  Shard& shard_for(const Key& key) noexcept {
+    return shards[KeyHash{}(key) % kShards];
+  }
+};
 
 namespace {
 
@@ -23,7 +66,8 @@ PoiDatabase::PoiDatabase(std::string city_name, std::vector<Poi> pois,
       pois_(std::move(pois)),
       types_(std::move(types)),
       bounds_(bounds),
-      index_(positions_of(pois_), bounds) {
+      index_(positions_of(pois_), bounds),
+      anchor_cache_(std::make_unique<AnchorCache>()) {
   city_freq_.assign(types_.size(), 0);
   by_type_.resize(types_.size());
   for (PoiId i = 0; i < pois_.size(); ++i) {
@@ -45,8 +89,48 @@ PoiDatabase::PoiDatabase(std::string city_name, std::vector<Poi> pois,
   }
 }
 
+PoiDatabase::~PoiDatabase() = default;
+PoiDatabase::PoiDatabase(PoiDatabase&&) noexcept = default;
+PoiDatabase& PoiDatabase::operator=(PoiDatabase&&) noexcept = default;
+
 std::vector<PoiId> PoiDatabase::query(geo::Point center, double radius) const {
   return index_.query_disk(center, radius);
+}
+
+const FrequencyVector& PoiDatabase::anchor_freq(PoiId id,
+                                                double radius) const {
+  const AnchorCache::Key key{id, std::bit_cast<std::uint64_t>(radius)};
+  AnchorCache::Shard& shard = anchor_cache_->shard_for(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside any lock; on a concurrent double-compute the loser
+  // discards its copy and counts a hit, so misses stay equal to the number
+  // of distinct keys no matter the interleaving.
+  FrequencyVector computed = freq(poi(id).pos, radius);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const auto [it, inserted] =
+      shard.entries.try_emplace(key, std::move(computed));
+  if (inserted) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+AnchorCacheStats PoiDatabase::anchor_cache_stats() const noexcept {
+  AnchorCacheStats stats;
+  for (const AnchorCache::Shard& shard : anchor_cache_->shards) {
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 FrequencyVector PoiDatabase::freq(geo::Point center, double radius) const {

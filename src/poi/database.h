@@ -19,17 +19,43 @@
 
 namespace poiprivacy::poi {
 
+/// Counters of the anchor-vector cache (monotone over the database's
+/// lifetime; hits + misses == total anchor_freq lookups).
+struct AnchorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t lookups() const noexcept { return hits + misses; }
+  friend bool operator==(const AnchorCacheStats&,
+                         const AnchorCacheStats&) = default;
+};
+
 class PoiDatabase {
  public:
   /// Takes ownership of the POI set. POI ids must equal their index.
   PoiDatabase(std::string city_name, std::vector<Poi> pois,
               PoiTypeRegistry types, geo::BBox bounds);
+  ~PoiDatabase();
+  PoiDatabase(PoiDatabase&&) noexcept;
+  PoiDatabase& operator=(PoiDatabase&&) noexcept;
 
   /// Query(l, r): ids of POIs within `radius` km of `center`.
   std::vector<PoiId> query(geo::Point center, double radius) const;
 
   /// Freq(l, r): the type frequency vector within `radius` km of `center`.
   FrequencyVector freq(geo::Point center, double radius) const;
+
+  /// Freq(poi(id).pos, radius) through a sharded, read-mostly cache. The
+  /// attacks' dominance pruning probes the same anchor POIs at the same
+  /// 2r radius for every evaluated location, so this is the hot path of
+  /// the whole evaluation. Thread-safe; entries are never evicted, so the
+  /// returned reference stays valid for the database's lifetime. A miss
+  /// is counted only by the thread that actually inserts the entry, so
+  /// misses == distinct (id, radius) keys regardless of thread count.
+  const FrequencyVector& anchor_freq(PoiId id, double radius) const;
+
+  /// Snapshot of the anchor cache counters.
+  AnchorCacheStats anchor_cache_stats() const noexcept;
 
   /// Citywide type frequency F (computed once at construction).
   const FrequencyVector& city_freq() const noexcept { return city_freq_; }
@@ -55,6 +81,8 @@ class PoiDatabase {
   const std::string& city_name() const noexcept { return city_name_; }
 
  private:
+  struct AnchorCache;
+
   std::string city_name_;
   std::vector<Poi> pois_;
   PoiTypeRegistry types_;
@@ -63,6 +91,9 @@ class PoiDatabase {
   FrequencyVector city_freq_;
   std::vector<int> rank_;
   std::vector<std::vector<PoiId>> by_type_;
+  // Heap-allocated so the database stays movable despite the shard
+  // mutexes; the pointee is mutated from const methods (it is a cache).
+  std::unique_ptr<AnchorCache> anchor_cache_;
 };
 
 }  // namespace poiprivacy::poi

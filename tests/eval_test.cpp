@@ -71,6 +71,47 @@ TEST(Runner, AttackStatsInvariants) {
   EXPECT_LE(stats.success_rate(), 1.0);
   // On honest releases a unique candidate is always correct.
   EXPECT_EQ(stats.correct, stats.unique);
+  // Section II-D accounting: the counters form a monotone chain.
+  EXPECT_TRUE(stats.counters_consistent());
+  EXPECT_EQ(stats.empty_releases, 0u);  // identity releases are never empty
+  EXPECT_DOUBLE_EQ(stats.unique_rate(),
+                   static_cast<double>(stats.unique) / 40.0);
+}
+
+TEST(Runner, EmptyReleasesAreCountedAndNeverUnique) {
+  const Workbench bench(small_config());
+  const poi::PoiDatabase& db = bench.beijing().db;
+  // A release that suppresses everything: the attack cannot start, so every
+  // attempt must land in empty_releases and none in unique/correct.
+  const ReleaseFn suppress_all = [&db](geo::Point, double) {
+    return poi::FrequencyVector(db.num_types(), 0);
+  };
+  const AttackStats stats = evaluate_attack(
+      db, bench.locations(DatasetKind::kBeijingRandom), 2.0, suppress_all);
+  EXPECT_EQ(stats.attempts, 40u);
+  EXPECT_EQ(stats.empty_releases, 40u);
+  EXPECT_EQ(stats.unique, 0u);
+  EXPECT_EQ(stats.correct, 0u);
+  EXPECT_TRUE(stats.counters_consistent());
+  EXPECT_DOUBLE_EQ(stats.success_rate(), 0.0);
+}
+
+TEST(Runner, AttackStatsExposeAnchorCacheTraffic) {
+  const Workbench bench(small_config());
+  const poi::PoiDatabase& db = bench.beijing().db;
+  const auto locations = bench.locations(DatasetKind::kBeijingRandom);
+  const AttackStats first =
+      evaluate_attack(db, locations, 2.0, identity_release(db));
+  // The attack performs anchor lookups, and on a fresh workbench at least
+  // some of them are first-time misses.
+  EXPECT_GT(first.cache_hits + first.cache_misses, 0u);
+  EXPECT_GT(first.cache_misses, 0u);
+  // Re-running the identical evaluation touches only warm entries: the
+  // second pass is all hits, and its total traffic matches the first.
+  const AttackStats second =
+      evaluate_attack(db, locations, 2.0, identity_release(db));
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(second.cache_hits, first.cache_hits + first.cache_misses);
 }
 
 TEST(Runner, EmptyLocationsGiveZeroStats) {

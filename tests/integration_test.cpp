@@ -71,11 +71,12 @@ TEST_F(IntegrationTest, GeoIndMitigationFadesWithRange) {
   const poi::PoiDatabase& db = workbench().city_of(kind).db;
   const auto protected_rate = [&](double eps, double r) {
     const defense::GeoIndDefense defense(db, eps, 0.1);
-    common::Rng rng(99);
-    return eval::evaluate_attack(db, workbench().locations(kind), r,
-                                 [&](geo::Point l, double radius) {
-                                   return defense.release(l, radius, rng);
-                                 })
+    return eval::evaluate_attack(
+               db, workbench().locations(kind), r,
+               [&](geo::Point l, double radius, common::Rng& rng) {
+                 return defense.release(l, radius, rng);
+               },
+               /*release_seed=*/99)
         .success_rate();
   };
   const double base_half = baseline_success(db, workbench().locations(kind),

@@ -1,0 +1,139 @@
+// The headline contract of the parallel evaluation engine: identical
+// results for ANY thread count. Every runner is re-run on a fresh synthetic
+// workbench at --threads 1, 2 and 8 and the resulting stats must be
+// bit-identical — counters, cache traffic, float accumulations, and the
+// order of per-location vectors like areas_km2.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/parallel.h"
+#include "defense/location_defenses.h"
+#include "eval/datasets.h"
+#include "eval/runner.h"
+#include "eval/uniqueness.h"
+
+namespace poiprivacy {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+eval::WorkbenchConfig small_config() {
+  eval::WorkbenchConfig config;
+  config.seed = 4242;
+  config.locations_per_dataset = 60;
+  config.num_taxis = 10;
+  config.points_per_taxi = 20;
+  config.num_checkin_users = 10;
+  config.checkins_per_user = 10;
+  return config;
+}
+
+/// Everything one full evaluation pass produces, for one thread count.
+/// A fresh Workbench per pass keeps the anchor-cache deltas comparable.
+struct PassResult {
+  eval::AttackStats attack;
+  eval::AttackStats attack_seeded;
+  eval::FineGrainedStats fine;
+  eval::UtilityStats utility;
+  eval::UtilityStats utility_seeded;
+};
+
+PassResult run_pass(std::size_t threads) {
+  common::set_default_thread_count(threads);
+  const eval::Workbench bench(small_config());
+  const poi::PoiDatabase& db = bench.beijing().db;
+  const auto& locations = bench.locations(eval::DatasetKind::kBeijingRandom);
+  const double r = 2.0;
+
+  PassResult result;
+  result.attack =
+      eval::evaluate_attack(db, locations, r, eval::identity_release(db));
+
+  const defense::GeoIndDefense defense(db, 0.1, 0.1);
+  const eval::SeededReleaseFn noisy =
+      [&](geo::Point l, double radius, common::Rng& rng) {
+        return defense.release(l, radius, rng);
+      };
+  result.attack_seeded = eval::evaluate_attack(db, locations, r, noisy, 99);
+
+  attack::FineGrainedConfig fine_config;
+  fine_config.area_resolution = 96;
+  result.fine = eval::evaluate_fine_grained(db, locations, r, fine_config);
+
+  result.utility =
+      eval::evaluate_utility(db, locations, r, eval::identity_release(db));
+  result.utility_seeded = eval::evaluate_utility(db, locations, r, noisy, 99);
+  return result;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  /// One full pass per thread count, computed once and shared by every
+  /// test in this suite (each pass builds its own fresh Workbench).
+  static const PassResult& pass_for(std::size_t threads) {
+    static std::map<std::size_t, PassResult>* cache =
+        new std::map<std::size_t, PassResult>();
+    const auto it = cache->find(threads);
+    if (it != cache->end()) return it->second;
+    return cache->emplace(threads, run_pass(threads)).first->second;
+  }
+  static const PassResult& baseline() { return pass_for(1); }
+};
+
+TEST_F(ParallelDeterminismTest, BaselineIsNontrivial) {
+  // Guard against the comparisons below passing vacuously.
+  EXPECT_EQ(baseline().attack.attempts, 60u);
+  EXPECT_GT(baseline().attack.unique, 0u);
+  EXPECT_GT(baseline().attack.cache_misses, 0u);
+  EXPECT_GT(baseline().fine.successes, 0u);
+  EXPECT_FALSE(baseline().fine.areas_km2.empty());
+  EXPECT_GT(baseline().utility_seeded.samples, 0u);
+  EXPECT_LT(baseline().utility_seeded.mean_jaccard, 1.0);
+  EXPECT_TRUE(baseline().attack.counters_consistent());
+  EXPECT_TRUE(baseline().attack_seeded.counters_consistent());
+}
+
+TEST_F(ParallelDeterminismTest, AttackStatsBitIdenticalAcrossThreadCounts) {
+  for (const std::size_t threads : kThreadCounts) {
+    const PassResult& pass = pass_for(threads);
+    EXPECT_EQ(pass.attack, baseline().attack) << "threads=" << threads;
+    EXPECT_EQ(pass.attack_seeded, baseline().attack_seeded)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest,
+       FineGrainedStatsBitIdenticalIncludingAreaOrder) {
+  for (const std::size_t threads : kThreadCounts) {
+    const PassResult& pass = pass_for(threads);
+    // operator== compares areas_km2 / aux_counts element-wise in order, so
+    // any scheduling-dependent reordering or float divergence fails here.
+    EXPECT_EQ(pass.fine, baseline().fine) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, UtilityStatsBitIdenticalAcrossThreadCounts) {
+  for (const std::size_t threads : kThreadCounts) {
+    const PassResult& pass = pass_for(threads);
+    EXPECT_EQ(pass.utility, baseline().utility) << "threads=" << threads;
+    EXPECT_EQ(pass.utility_seeded, baseline().utility_seeded)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, UniquenessMapBitIdenticalAcrossThreadCounts) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  common::set_default_thread_count(1);
+  const eval::UniquenessMap serial = eval::analyze_uniqueness(city.db, 0.8);
+  for (const std::size_t threads : kThreadCounts) {
+    common::set_default_thread_count(threads);
+    const eval::UniquenessMap parallel = eval::analyze_uniqueness(city.db, 0.8);
+    EXPECT_EQ(parallel.cells, serial.cells) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(parallel.uniqueness_ratio(), serial.uniqueness_ratio());
+  }
+  common::set_default_thread_count(0);
+}
+
+}  // namespace
+}  // namespace poiprivacy

@@ -1,0 +1,110 @@
+// Thread-pool unit tests: the engine beneath the parallel eval runners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace poiprivacy::common {
+namespace {
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.run_tasks(0, [&](std::size_t) { ++calls; });
+  parallel_for_each(pool, 0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  const int folded = ordered_reduce(
+      pool, 0, 8, 7, [](std::size_t) { return 1; },
+      [](int acc, int v) { return acc + v; });
+  EXPECT_EQ(folded, 7);  // init passes through untouched
+}
+
+TEST(ThreadPool, RangeSmallerThanChunkRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for_each(pool, counts.size(), 100,
+                    [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, AllIndicesVisitedExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 10'000;
+    std::vector<std::atomic<int>> counts(kN);
+    parallel_for_each(pool, kN, 7, [&](std::size_t i) { ++counts[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " with "
+                                     << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfATask) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.run_tasks(64,
+                       [](std::size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+        std::runtime_error);
+    // The pool survives a throwing batch and runs the next one normally.
+    std::atomic<int> calls{0};
+    pool.run_tasks(16, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 16);
+  }
+}
+
+TEST(ThreadPool, OrderedReduceMatchesSerialAccumulateOn10kDoubles) {
+  // Values spread over wildly different magnitudes so that any change in
+  // the floating-point summation order changes the rounded result.
+  Rng rng(2024);
+  std::vector<double> values(10'000);
+  for (double& v : values) {
+    v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform_int(-12, 12));
+  }
+  const double serial =
+      std::accumulate(values.begin(), values.end(), 0.0);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const double parallel = ordered_reduce(
+        pool, values.size(), 16, 0.0,
+        [&](std::size_t i) { return values[i]; },
+        [](double acc, double v) { return acc + v; });
+    // Bit-identical, not just close: the fold order is the serial order.
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  pool.run_tasks(8, [&](std::size_t) {
+    // A task fanning out again must not deadlock on the shared pool; the
+    // nested batch runs inline on the submitting thread.
+    pool.run_tasks(4, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+}
+
+TEST(ThreadPool, GlobalPoolTracksDefaultThreadCount) {
+  const std::size_t before = default_thread_count();
+  set_default_thread_count(3);
+  EXPECT_EQ(default_thread_count(), 3u);
+  EXPECT_EQ(global_pool().concurrency(), 3u);
+  set_default_thread_count(1);
+  EXPECT_EQ(global_pool().concurrency(), 1u);
+  set_default_thread_count(0);  // restore the hardware default
+  EXPECT_GE(default_thread_count(), 1u);
+  (void)before;
+}
+
+}  // namespace
+}  // namespace poiprivacy::common

@@ -2,6 +2,7 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -110,6 +111,67 @@ TEST(Database, QueryMatchesBruteForce) {
     }
     EXPECT_EQ(got_set, expected);
   }
+}
+
+TEST(Database, AnchorFreqMatchesUncachedFreqOver1kRandomAnchors) {
+  const City city = make_test_city();
+  common::Rng rng(21);
+  const auto n = static_cast<std::int64_t>(city.db.pois().size());
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto id = static_cast<PoiId>(rng.uniform_int(0, n - 1));
+    const double r = rng.uniform(0.2, 2.0);
+    // The cache key is the exact (id, 2r) pair the attacks look up.
+    EXPECT_EQ(city.db.anchor_freq(id, 2.0 * r),
+              city.db.freq(city.db.poi(id).pos, 2.0 * r))
+        << "anchor " << id << " radius " << 2.0 * r;
+  }
+}
+
+TEST(Database, AnchorCacheCountsHitsAndDistinctMisses) {
+  const City city = make_test_city();
+  EXPECT_EQ(city.db.anchor_cache_stats().lookups(), 0u);
+  const FrequencyVector& first = city.db.anchor_freq(3, 1.6);
+  const FrequencyVector& again = city.db.anchor_freq(3, 1.6);
+  EXPECT_EQ(&first, &again);  // entries are stable; the cache never evicts
+  (void)city.db.anchor_freq(3, 0.8);  // different radius -> new entry
+  (void)city.db.anchor_freq(4, 1.6);  // different anchor -> new entry
+  const AnchorCacheStats stats = city.db.anchor_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.lookups(), 4u);
+}
+
+TEST(Database, AnchorCacheConcurrentReadsAccountForEveryLookup) {
+  const City city = make_test_city();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kLookupsPerThread = 400;
+  constexpr std::size_t kDistinctKeys = 37;  // shared across threads
+  std::vector<std::thread> threads;
+  std::vector<std::set<std::size_t>> touched(kThreads);
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&city, &touched, t] {
+      common::Rng rng(100 + t);
+      for (std::size_t i = 0; i < kLookupsPerThread; ++i) {
+        const auto key = static_cast<std::size_t>(
+            rng.uniform_int(0, kDistinctKeys - 1));
+        touched[t].insert(key);
+        const auto id = static_cast<PoiId>(key % city.db.pois().size());
+        const double radius = 0.4 + 0.1 * static_cast<double>(key);
+        const FrequencyVector& f = city.db.anchor_freq(id, radius);
+        ASSERT_EQ(f.size(), city.db.num_types());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  std::set<std::size_t> distinct;
+  for (const auto& keys : touched) distinct.insert(keys.begin(), keys.end());
+  const AnchorCacheStats stats = city.db.anchor_cache_stats();
+  // Deterministic accounting even under racing first lookups: every lookup
+  // is exactly one hit or one miss, and misses == distinct keys touched no
+  // matter how the threads interleave.
+  EXPECT_EQ(stats.lookups(), kThreads * kLookupsPerThread);
+  EXPECT_EQ(stats.misses, distinct.size());
 }
 
 TEST(Database, FreqEqualsQueryHistogram) {
