@@ -8,9 +8,11 @@
 //   --threads N     evaluation threads (default hardware_concurrency;
 //                   1 restores the serial path; results are identical
 //                   for every value)
+//   --help          print the known-flag list and exit
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -38,6 +40,10 @@ struct BenchOptions {
           known.insert(known.end(), extra_flags.begin(), extra_flags.end());
           return known;
         }()) {
+    if (flags.help_requested()) {
+      std::cout << flags.usage(argv[0]);
+      std::exit(0);
+    }
     seed = static_cast<std::uint64_t>(
         flags.get("seed", static_cast<std::int64_t>(42)));
     full = flags.get("full", false);

@@ -16,6 +16,10 @@ using namespace poiprivacy;
 
 int main(int argc, char** argv) {
   const common::Flags flags(argc, argv, {"seed", "city", "map"});
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
   const auto seed = static_cast<std::uint64_t>(
       flags.get("seed", static_cast<std::int64_t>(42)));
   const std::string which = flags.get("city", std::string("beijing"));

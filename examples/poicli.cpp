@@ -166,6 +166,10 @@ int cmd_uniqueness(const common::Flags& flags) {
 
 int main(int argc, char** argv) {
   const common::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    usage();
+    return 0;
+  }
   if (flags.positional().size() != 1) return usage();
   const std::string& command = flags.positional().front();
   try {

@@ -37,17 +37,31 @@ std::vector<geo::Point> AdaptiveIntervalCloaker::dummy_locations(
   if (k == 0) return out;
   const CloakResult result = cloak(target, k);
   out.push_back(target);
-  std::vector<std::uint32_t> ids = tree_.query_box(result.region);
+  append_region_draws(out, result.region, k, rng);
+  return out;
+}
+
+std::vector<geo::Point> AdaptiveIntervalCloaker::region_dummy_locations(
+    const geo::BBox& region, std::size_t k, common::Rng& rng) const {
+  std::vector<geo::Point> out;
+  append_region_draws(out, region, k, rng);
+  return out;
+}
+
+void AdaptiveIntervalCloaker::append_region_draws(std::vector<geo::Point>& out,
+                                                  const geo::BBox& region,
+                                                  std::size_t k,
+                                                  common::Rng& rng) const {
+  std::vector<std::uint32_t> ids = tree_.query_box(region);
   rng.shuffle(ids);
   for (const std::uint32_t id : ids) {
     if (out.size() >= k) break;
     out.push_back(tree_.point(id));
   }
   while (out.size() < k) {
-    out.push_back({rng.uniform(result.region.min_x, result.region.max_x),
-                   rng.uniform(result.region.min_y, result.region.max_y)});
+    out.push_back({rng.uniform(region.min_x, region.max_x),
+                   rng.uniform(region.min_y, region.max_y)});
   }
-  return out;
 }
 
 std::vector<geo::Point> uniform_population(const geo::BBox& bounds,

@@ -38,10 +38,24 @@ class AdaptiveIntervalCloaker {
   std::vector<geo::Point> dummy_locations(geo::Point target, std::size_t k,
                                           common::Rng& rng) const;
 
+  /// k locations drawn from the registered users inside `region` (topped
+  /// up with uniform points in the region). Unlike dummy_locations the
+  /// requester is not included, so the draw is a pure function of
+  /// (region, k, rng state) — the canonical dummy set the serving layer
+  /// caches per cloaked region.
+  std::vector<geo::Point> region_dummy_locations(const geo::BBox& region,
+                                                 std::size_t k,
+                                                 common::Rng& rng) const;
+
   std::size_t num_users() const noexcept { return users_.size(); }
   const geo::BBox& bounds() const noexcept { return bounds_; }
 
  private:
+  /// Draws users inside `region` (then uniform top-up) until out.size() == k.
+  void append_region_draws(std::vector<geo::Point>& out,
+                           const geo::BBox& region, std::size_t k,
+                           common::Rng& rng) const;
+
   geo::BBox bounds_;
   std::vector<geo::Point> users_;
   spatial::Quadtree tree_;

@@ -16,7 +16,12 @@ bool is_flag(const std::string& arg) {
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv,
-             const std::vector<std::string>& known) {
+             const std::vector<std::string>& known)
+    : known_(known) {
+  if (!known_.empty() &&
+      std::find(known_.begin(), known_.end(), kHelpFlag) == known_.end()) {
+    known_.push_back(kHelpFlag);
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!is_flag(arg)) {
@@ -34,12 +39,25 @@ Flags::Flags(int argc, const char* const* argv,
       value = argv[++i];
       has_value = true;
     }
-    if (!known.empty() &&
-        std::find(known.begin(), known.end(), name) == known.end()) {
+    if (!known_.empty() &&
+        std::find(known_.begin(), known_.end(), name) == known_.end()) {
       throw std::invalid_argument("unknown flag: --" + name);
     }
     values_[name] = has_value ? value : "true";
   }
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [--flag value | --flag]...\n";
+  if (known_.empty()) {
+    out += "  (this binary accepts arbitrary flags)\n";
+    return out;
+  }
+  out += "known flags:\n";
+  for (const std::string& name : known_) {
+    out += "  --" + name + "\n";
+  }
+  return out;
 }
 
 bool Flags::has(const std::string& name) const {

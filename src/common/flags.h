@@ -1,7 +1,8 @@
 // Minimal command-line flag parser for the bench and example binaries.
 //
 // Supports `--name value`, `--name=value` and boolean `--name`. Unknown
-// flags are an error so typos in sweep scripts fail loudly.
+// flags are an error so typos in sweep scripts fail loudly; `--help` is
+// always accepted so every binary can print its known-flag list.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +16,7 @@ namespace poiprivacy::common {
 class Flags {
  public:
   /// Parses argv. Throws std::invalid_argument on a malformed or (if
-  /// `known` is nonempty) unknown flag.
+  /// `known` is nonempty) unknown flag. `--help` is implicitly known.
   Flags(int argc, const char* const* argv,
         const std::vector<std::string>& known = {});
 
@@ -29,6 +30,13 @@ class Flags {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// True when the user passed `--help`.
+  bool help_requested() const { return has(kHelpFlag); }
+
+  /// "usage: <program> ..." plus one line per known flag — the discovery
+  /// aid behind every binary's `--help`.
+  std::string usage(const std::string& program) const;
+
   /// Reads `--threads N` and installs it as the process-wide evaluation
   /// concurrency (common::set_default_thread_count). Without the flag the
   /// default stays hardware_concurrency; `--threads 1` restores the fully
@@ -37,10 +45,12 @@ class Flags {
   std::size_t apply_threads_flag() const;
 
   static constexpr const char* kThreadsFlag = "threads";
+  static constexpr const char* kHelpFlag = "help";
 
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  std::vector<std::string> known_;
 };
 
 }  // namespace poiprivacy::common

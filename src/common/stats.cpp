@@ -45,6 +45,20 @@ double max_of(std::span<const double> xs) noexcept {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+Percentiles percentiles(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  return {at(0.50), at(0.95), at(0.99)};
+}
+
 void RunningStats::add(double x) noexcept {
   ++n_;
   const double delta = x - mean_;

@@ -24,6 +24,17 @@ double quantile(std::span<const double> xs, double q);
 double min_of(std::span<const double> xs) noexcept;
 double max_of(std::span<const double> xs) noexcept;
 
+/// The latency percentiles every throughput bench reports.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// p50/p95/p99 of a sample in one sort (quantile() sorts per call);
+/// all-zero for an empty span.
+Percentiles percentiles(std::span<const double> xs);
+
 /// Running mean/variance accumulator (Welford).
 class RunningStats {
  public:

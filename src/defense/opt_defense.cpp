@@ -17,15 +17,24 @@ int rare_rank_cap(const poi::PoiDatabase& db) {
 
 }  // namespace
 
+poi::FrequencyVector postprocess_release(const poi::PoiDatabase& db,
+                                         std::vector<double> base,
+                                         double beta,
+                                         std::int32_t max_injection) {
+  opt::DistortionProblem problem;
+  problem.base = std::move(base);
+  problem.rank = db.infrequency_rank();
+  problem.beta = beta;
+  problem.max_injection = max_injection;
+  problem.max_rank = rare_rank_cap(db);
+  return opt::optimize_release(problem).release;
+}
+
 poi::FrequencyVector OptimizationDefense::release(
     const poi::FrequencyVector& original) const {
-  opt::DistortionProblem problem;
-  problem.base.assign(original.begin(), original.end());
-  problem.rank = db_->infrequency_rank();
-  problem.beta = beta_;
-  problem.max_injection = max_injection_;
-  problem.max_rank = rare_rank_cap(*db_);
-  return opt::optimize_release(problem).release;
+  return postprocess_release(
+      *db_, std::vector<double>(original.begin(), original.end()), beta_,
+      max_injection_);
 }
 
 std::vector<double> DpDefense::noised_mean(geo::Point location, double r,
@@ -73,13 +82,8 @@ std::vector<double> DpDefense::noised_mean(geo::Point location, double r,
 
 poi::FrequencyVector DpDefense::release(geo::Point location, double r,
                                         common::Rng& rng) const {
-  opt::DistortionProblem problem;
-  problem.base = noised_mean(location, r, rng);
-  problem.rank = db_->infrequency_rank();
-  problem.beta = config_.beta;
-  problem.max_injection = config_.max_injection;
-  problem.max_rank = rare_rank_cap(*db_);
-  return opt::optimize_release(problem).release;
+  return postprocess_release(*db_, noised_mean(location, r, rng),
+                             config_.beta, config_.max_injection);
 }
 
 }  // namespace poiprivacy::defense

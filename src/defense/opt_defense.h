@@ -21,6 +21,16 @@
 
 namespace poiprivacy::defense {
 
+/// The Eq. (9) post-processing step shared by OptimizationDefense,
+/// DpDefense and the serving layer: optimize the (real-valued) base
+/// vector under average relative distortion budget `beta`, perturbing
+/// only the citywide-rare tail (see DESIGN.md 4b.5). Post-processing, so
+/// it preserves whatever DP guarantee the base vector carries (Lemma 3).
+poi::FrequencyVector postprocess_release(const poi::PoiDatabase& db,
+                                         std::vector<double> base,
+                                         double beta,
+                                         std::int32_t max_injection);
+
 class OptimizationDefense {
  public:
   /// `max_injection` > 0 additionally injects fake counts into absent

@@ -1,5 +1,7 @@
 #include "defense/session.h"
 
+#include <algorithm>
+
 namespace poiprivacy::defense {
 
 namespace {
@@ -19,9 +21,16 @@ dp::PrivacyParams ReleaseSession::spent() const {
   return basic;
 }
 
-dp::PrivacyParams ReleaseSession::composed_after_one_more() const {
+dp::PrivacyParams ReleaseSession::remaining() const {
+  const dp::PrivacyParams used = spent();
+  return {std::max(0.0, config_.epsilon_ceiling - used.epsilon),
+          std::max(0.0, config_.delta_ceiling - used.delta)};
+}
+
+dp::PrivacyParams ReleaseSession::composed_after(
+    dp::PrivacyParams params) const {
   dp::PrivacyAccountant hypothetical = accountant_;
-  hypothetical.spend({config_.release.epsilon, config_.release.delta});
+  hypothetical.spend(params);
   const dp::PrivacyParams basic = hypothetical.basic_composition();
   if (config_.advanced_slack > 0.0) {
     return tighter(basic,
@@ -30,10 +39,17 @@ dp::PrivacyParams ReleaseSession::composed_after_one_more() const {
   return basic;
 }
 
-bool ReleaseSession::exhausted() const {
-  const dp::PrivacyParams next = composed_after_one_more();
+bool ReleaseSession::would_exceed(dp::PrivacyParams params) const {
+  if (params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0) {
+    return true;  // unadmittable, never chargeable
+  }
+  const dp::PrivacyParams next = composed_after(params);
   return next.epsilon > config_.epsilon_ceiling ||
          next.delta > config_.delta_ceiling;
+}
+
+bool ReleaseSession::exhausted() const {
+  return would_exceed({config_.release.epsilon, config_.release.delta});
 }
 
 std::optional<poi::FrequencyVector> ReleaseSession::release(

@@ -6,6 +6,10 @@
 // budget ceiling: releases are refused once the composed (eps, delta)
 // would exceed it. This operationalizes the paper's per-release guarantee
 // into something a real client could ship.
+//
+// The admission predicates (would_exceed, remaining) and charge() let an
+// external serving layer reuse the session's composition math while
+// running the release mechanism itself — see service/release_service.h.
 #pragma once
 
 #include <optional>
@@ -38,11 +42,26 @@ class ReleaseSession {
   /// The privacy cost already spent (tightest available composition).
   dp::PrivacyParams spent() const;
 
+  /// Budget left before either ceiling (componentwise, clamped at zero).
+  dp::PrivacyParams remaining() const;
+
+  /// Would one more release at `params` push the composed cost past a
+  /// ceiling? Never throws: invalid params (eps <= 0, delta outside
+  /// [0, 1)) cannot be admitted and report true.
+  bool would_exceed(dp::PrivacyParams params) const;
+
+  /// Records a release performed outside this session's own defense
+  /// (e.g. by the serving layer, possibly under a different policy).
+  /// Throws on invalid params; callers gate on would_exceed first.
+  void charge(dp::PrivacyParams params) { accountant_.spend(params); }
+
   std::size_t releases() const noexcept { return accountant_.releases(); }
   bool exhausted() const;
 
+  const SessionConfig& config() const noexcept { return config_; }
+
  private:
-  dp::PrivacyParams composed_after_one_more() const;
+  dp::PrivacyParams composed_after(dp::PrivacyParams params) const;
 
   DpDefense defense_;
   SessionConfig config_;

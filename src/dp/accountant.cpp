@@ -5,6 +5,16 @@
 
 namespace poiprivacy::dp {
 
+namespace {
+
+/// Thm 3.20 epsilon bound for k releases at `eps` with slack delta_prime.
+double advanced_epsilon(double eps, double k, double delta_prime) {
+  return eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
+         k * eps * (std::exp(eps) - 1.0);
+}
+
+}  // namespace
+
 void PrivacyAccountant::spend(PrivacyParams params) {
   if (params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0) {
     throw std::invalid_argument(
@@ -13,11 +23,7 @@ void PrivacyAccountant::spend(PrivacyParams params) {
   ++releases_;
   epsilon_sum_ += params.epsilon;
   delta_sum_ += params.delta;
-  if (common_epsilon_ < 0.0) {
-    common_epsilon_ = params.epsilon;
-  } else if (common_epsilon_ != params.epsilon) {
-    mixed_epsilon_ = true;
-  }
+  ++by_epsilon_[params.epsilon];
 }
 
 PrivacyParams PrivacyAccountant::basic_composition() const noexcept {
@@ -29,16 +35,17 @@ PrivacyParams PrivacyAccountant::advanced_composition(
   if (delta_prime <= 0.0 || delta_prime >= 1.0) {
     throw std::invalid_argument("accountant: delta_prime must be in (0, 1)");
   }
-  if (mixed_epsilon_) {
-    throw std::logic_error(
-        "accountant: advanced composition requires a uniform epsilon");
-  }
   if (releases_ == 0) return {0.0, delta_prime};
-  const double eps = common_epsilon_;
-  const auto k = static_cast<double>(releases_);
-  const double advanced =
-      eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
-      k * eps * (std::exp(eps) - 1.0);
+  // Each epsilon group is a k-fold homogeneous composition; the groups
+  // then compose additively, with the slack split evenly so the total
+  // extra delta stays delta_prime. One group reduces to plain Thm 3.20.
+  const double group_slack =
+      delta_prime / static_cast<double>(by_epsilon_.size());
+  double advanced = 0.0;
+  for (const auto& [eps, count] : by_epsilon_) {
+    advanced +=
+        advanced_epsilon(eps, static_cast<double>(count), group_slack);
+  }
   return {advanced, delta_sum_ + delta_prime};
 }
 

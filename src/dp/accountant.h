@@ -3,10 +3,14 @@
 // composition, spent (k*eps, k*delta); advanced composition (Dwork &
 // Roth, Thm 3.20) gives the tighter
 //   eps' = eps * sqrt(2 k ln(1/delta')) + k eps (e^eps - 1)
-// for any extra slack delta'.
+// for any extra slack delta'. Mixed-epsilon histories (a session served
+// under several release policies) are composed per-epsilon group: each
+// group gets Thm 3.20 with an equal share of the slack, and the group
+// bounds compose additively.
 #pragma once
 
 #include <cstddef>
+#include <map>
 
 #include "dp/mechanisms.h"
 
@@ -23,16 +27,19 @@ class PrivacyAccountant {
   /// Basic composition: sums of epsilons and deltas.
   PrivacyParams basic_composition() const noexcept;
 
-  /// Advanced composition with slack delta_prime; only valid when every
-  /// recorded release used the same epsilon (throws otherwise).
+  /// Advanced composition with total slack delta_prime. A homogeneous
+  /// history uses Thm 3.20 directly; with G distinct epsilons each group
+  /// is composed under slack delta_prime / G and the results summed.
   PrivacyParams advanced_composition(double delta_prime) const;
+
+  /// Number of distinct per-release epsilons recorded so far.
+  std::size_t epsilon_groups() const noexcept { return by_epsilon_.size(); }
 
  private:
   std::size_t releases_ = 0;
   double epsilon_sum_ = 0.0;
   double delta_sum_ = 0.0;
-  double common_epsilon_ = -1.0;  ///< -1 until first spend; NaN if mixed
-  bool mixed_epsilon_ = false;
+  std::map<double, std::size_t> by_epsilon_;  ///< releases per epsilon
 };
 
 }  // namespace poiprivacy::dp

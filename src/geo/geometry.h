@@ -55,6 +55,8 @@ struct BBox {
   Point clamp(Point p) const noexcept;
   /// Does the box intersect the disk of radius r centred at c?
   bool intersects_disk(Point c, double r) const noexcept;
+
+  friend constexpr bool operator==(const BBox&, const BBox&) = default;
 };
 
 struct Circle {

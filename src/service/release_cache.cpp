@@ -1,0 +1,87 @@
+#include "service/release_cache.h"
+
+#include <bit>
+
+namespace poiprivacy::service {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return splitmix64(h ^ v);
+}
+
+}  // namespace
+
+std::uint64_t ReleaseCache::hash(const ReleaseCacheKey& key) noexcept {
+  std::uint64_t h = 0x8f3a9c1d2e4b5a67ULL;
+  h = mix(h, std::bit_cast<std::uint64_t>(key.region.min_x));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.region.min_y));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.region.max_x));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.region.max_y));
+  h = mix(h, std::bit_cast<std::uint64_t>(key.radius));
+  h = mix(h, key.policy);
+  return h;
+}
+
+ReleaseCache::ReleaseCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  const std::size_t n = std::min(shards == 0 ? 1 : shards, capacity_);
+  shard_capacity_ = (capacity_ + n - 1) / n;
+  shards_ = std::vector<Shard>(n);
+}
+
+ReleaseCache::Shard& ReleaseCache::shard_for(
+    const ReleaseCacheKey& key) const {
+  return shards_[hash(key) % shards_.size()];
+}
+
+std::shared_ptr<const CloakAggregate> ReleaseCache::get(
+    const ReleaseCacheKey& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->value;
+}
+
+void ReleaseCache::put(const ReleaseCacheKey& key,
+                       std::shared_ptr<const CloakAggregate> value) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  ++shard.misses;
+  shard.lru.push_front({key, std::move(value)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ReleaseCacheStats ReleaseCache::stats() const {
+  ReleaseCacheStats out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace poiprivacy::service

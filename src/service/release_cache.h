@@ -1,0 +1,127 @@
+// Sharded LRU cache of cloak-region aggregates — the serving layer's
+// memoization of the expensive, non-private part of a DP release.
+//
+// The DP defense pipeline factors into
+//   (1) cloak the requester into a k-anonymous quadrant,
+//   (2) average the frequency vectors of k dummy locations in it,
+//   (3) add per-dimension noise and post-process (Eq. 8-9).
+// Step (2) costs k range queries over the POI database; steps (3) are
+// O(M). The cache keys step (2) on (cloaked region, radius, policy): the
+// canonical dummy set is drawn from the region itself with an RNG derived
+// from the key (see ReleaseService), so the aggregate is a pure function
+// of the key and any two users cloaked into the same quadrant share it.
+//
+// Unlike the PoiDatabase anchor cache (unbounded, read-mostly), release
+// traffic has an unbounded key space — every (region, radius, policy)
+// combination a city's worth of users produces over a day — so entries
+// are LRU-evicted per shard. Values are handed out as shared_ptr so an
+// in-flight request survives the eviction of its entry.
+//
+// Thread safety: every operation locks its shard, so concurrent use is
+// safe. Determinism of the hit/miss/eviction counters, however, is the
+// caller's job: ReleaseService probes and inserts serially in request
+// order (only the aggregate *computation* is parallel), which makes the
+// counters and the eviction sequence bit-identical for any --threads.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace poiprivacy::service {
+
+/// Index into ServiceConfig::policies.
+using PolicyId = std::uint32_t;
+
+/// Identity of a cacheable release computation. The region is the exact
+/// cloak quadrant (halved doubles, so bitwise comparison is stable).
+struct ReleaseCacheKey {
+  geo::BBox region;
+  double radius = 0.0;
+  PolicyId policy = 0;
+
+  friend bool operator==(const ReleaseCacheKey&,
+                         const ReleaseCacheKey&) = default;
+};
+
+/// The cached step-(2) result: per-type sums and sensitivities over the
+/// region's k canonical dummy locations (sensitivity_i = max_d F_d[i],
+/// the Gaussian mechanism's per-dimension calibration).
+struct CloakAggregate {
+  std::vector<double> sum;
+  std::vector<double> sensitivity;
+  std::size_t k = 0;
+};
+
+/// Monotone counters; under ReleaseService's serial probe order they are
+/// bit-identical for any thread count.
+struct ReleaseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< insertions (== distinct keys computed)
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< current resident entries
+
+  std::uint64_t lookups() const noexcept { return hits + misses; }
+  double hit_rate() const noexcept {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+  friend bool operator==(const ReleaseCacheStats&,
+                         const ReleaseCacheStats&) = default;
+};
+
+class ReleaseCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRU lists
+  /// (each holding ceil(capacity / shards)).
+  explicit ReleaseCache(std::size_t capacity, std::size_t shards = 16);
+
+  /// The aggregate for `key`, refreshing its LRU position, or nullptr.
+  std::shared_ptr<const CloakAggregate> get(const ReleaseCacheKey& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's LRU entry when
+  /// the shard is full.
+  void put(const ReleaseCacheKey& key,
+           std::shared_ptr<const CloakAggregate> value);
+
+  ReleaseCacheStats stats() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Stable 64-bit key hash — also the seed material for the key's
+  /// canonical dummy draw in ReleaseService.
+  static std::uint64_t hash(const ReleaseCacheKey& key) noexcept;
+
+ private:
+  struct Entry {
+    ReleaseCacheKey key;
+    std::shared_ptr<const CloakAggregate> value;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ReleaseCacheKey& key) const noexcept {
+      return static_cast<std::size_t>(hash(key));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<ReleaseCacheKey, std::list<Entry>::iterator, KeyHash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const ReleaseCacheKey& key) const;
+
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace poiprivacy::service

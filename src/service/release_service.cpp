@@ -1,0 +1,356 @@
+#include "service/release_service.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "dp/discrete.h"
+
+namespace poiprivacy::service {
+
+namespace {
+
+/// Fixed chunk sizes (never derived from the thread count, per the
+/// determinism conventions of DESIGN.md 4d).
+constexpr std::size_t kCloakChunk = 8;
+constexpr std::size_t kComputeChunk = 1;
+
+constexpr std::size_t kNotMissing = static_cast<std::size_t>(-1);
+
+struct KeyHash {
+  std::size_t operator()(const ReleaseCacheKey& key) const noexcept {
+    return static_cast<std::size_t>(ReleaseCache::hash(key));
+  }
+};
+
+}  // namespace
+
+const char* status_name(ReleaseStatus status) noexcept {
+  switch (status) {
+    case ReleaseStatus::kGranted:
+      return "granted";
+    case ReleaseStatus::kDegraded:
+      return "degraded";
+    case ReleaseStatus::kBudgetExhausted:
+      return "budget_exhausted";
+    case ReleaseStatus::kInvalidRequest:
+      return "invalid_request";
+  }
+  return "unknown";
+}
+
+std::uint64_t ServiceStats::count(ReleaseStatus status) const noexcept {
+  switch (status) {
+    case ReleaseStatus::kGranted:
+      return granted;
+    case ReleaseStatus::kDegraded:
+      return degraded;
+    case ReleaseStatus::kBudgetExhausted:
+      return budget_exhausted;
+    case ReleaseStatus::kInvalidRequest:
+      return invalid;
+  }
+  return 0;
+}
+
+ReleaseService::ReleaseService(const poi::PoiDatabase& db,
+                               const cloak::AdaptiveIntervalCloaker& cloaker,
+                               ServiceConfig config)
+    : db_(&db),
+      cloaker_(&cloaker),
+      config_(std::move(config)),
+      cache_(config_.cache_capacity),
+      noise_base_(common::Rng(config_.seed).substream(0)),
+      aggregate_base_(common::Rng(config_.seed).substream(1)) {
+  if (config_.policies.empty()) {
+    throw std::invalid_argument("service: needs at least one policy");
+  }
+  for (const ReleasePolicy& policy : config_.policies) {
+    const bool gaussian = policy.release.noise == defense::DpNoiseKind::kGaussian;
+    if (policy.release.k == 0 || policy.release.epsilon <= 0.0 ||
+        policy.release.delta >= 1.0 ||
+        policy.release.delta < (gaussian ? 1e-12 : 0.0)) {
+      throw std::invalid_argument("service: ill-formed policy '" +
+                                  policy.name + "'");
+    }
+  }
+  if (config_.degrade_policy &&
+      *config_.degrade_policy >= config_.policies.size()) {
+    throw std::invalid_argument("service: degrade_policy out of range");
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+defense::ReleaseSession& ReleaseService::session_for(UserId user) {
+  const auto it = sessions_.find(user);
+  if (it != sessions_.end()) return it->second;
+  defense::SessionConfig session_config;
+  session_config.release = config_.policies.front().release;
+  session_config.epsilon_ceiling = config_.epsilon_ceiling;
+  session_config.delta_ceiling = config_.delta_ceiling;
+  session_config.advanced_slack = config_.advanced_slack;
+  ++stats_.users;
+  return sessions_
+      .try_emplace(user, *db_, *cloaker_, session_config)
+      .first->second;
+}
+
+dp::PrivacyParams ReleaseService::user_spent(UserId user) const {
+  const auto it = sessions_.find(user);
+  return it == sessions_.end() ? dp::PrivacyParams{0.0, 0.0}
+                               : it->second.spent();
+}
+
+dp::PrivacyParams ReleaseService::user_remaining(UserId user) const {
+  const auto it = sessions_.find(user);
+  return it == sessions_.end()
+             ? dp::PrivacyParams{config_.epsilon_ceiling,
+                                 config_.delta_ceiling}
+             : it->second.remaining();
+}
+
+CloakAggregate ReleaseService::compute_aggregate(
+    const ReleaseCacheKey& key) const {
+  // The dummy draw seeds from the key hash, so the aggregate is a pure
+  // function of the key: recomputing after an eviction (or on another
+  // thread) reproduces it bit-for-bit.
+  common::Rng rng = aggregate_base_.substream(ReleaseCache::hash(key));
+  const defense::DpDefenseConfig& policy =
+      config_.policies[key.policy].release;
+  const std::vector<geo::Point> dummies =
+      cloaker_->region_dummy_locations(key.region, policy.k, rng);
+  const std::size_t m = db_->num_types();
+  CloakAggregate aggregate;
+  aggregate.k = dummies.size();
+  aggregate.sum.assign(m, 0.0);
+  aggregate.sensitivity.assign(m, 0.0);
+  for (const geo::Point d : dummies) {
+    const poi::FrequencyVector f = db_->freq(d, key.radius);
+    for (std::size_t i = 0; i < m; ++i) {
+      aggregate.sum[i] += f[i];
+      aggregate.sensitivity[i] =
+          std::max(aggregate.sensitivity[i], static_cast<double>(f[i]));
+    }
+  }
+  return aggregate;
+}
+
+poi::FrequencyVector ReleaseService::noised_release(
+    const defense::DpDefenseConfig& policy, const CloakAggregate& aggregate,
+    common::Rng& rng) const {
+  const std::size_t m = db_->num_types();
+  const double k = static_cast<double>(aggregate.k);
+  std::vector<double> mean(m, 0.0);
+  const dp::PrivacyParams params{policy.epsilon, policy.delta};
+  for (std::size_t i = 0; i < m; ++i) {
+    double noised = aggregate.sum[i];
+    if (aggregate.sensitivity[i] > 0.0) {
+      switch (policy.noise) {
+        case defense::DpNoiseKind::kGaussian: {
+          const double sigma = dp::GaussianMechanism::calibrated_sigma(
+              params, aggregate.sensitivity[i]);
+          noised += rng.normal(0.0, sigma);
+          break;
+        }
+        case defense::DpNoiseKind::kGeometric: {
+          const dp::GeometricMechanism mech(
+              policy.epsilon,
+              static_cast<std::int64_t>(aggregate.sensitivity[i]));
+          noised = static_cast<double>(mech.perturb(
+              static_cast<std::int64_t>(std::llround(noised)), rng));
+          break;
+        }
+      }
+    }
+    mean[i] = noised / k;
+  }
+  return defense::postprocess_release(*db_, std::move(mean), policy.beta,
+                                      policy.max_injection);
+}
+
+struct ReleaseService::Admitted {
+  std::size_t index = 0;  ///< position in the batch
+  PolicyId policy = 0;
+  std::uint64_t noise_index = 0;
+  ReleaseCacheKey key;
+  std::shared_ptr<const CloakAggregate> aggregate;
+  std::size_t missing_slot = kNotMissing;
+  bool cache_hit = false;  ///< resident, or coalesced onto a batch peer
+};
+
+void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
+                                 std::vector<ReleaseResult>& results) {
+  const common::Stopwatch timer;
+  const std::size_t base = results.size();
+  results.resize(base + requests.size());
+  std::vector<Admitted> admitted;
+  admitted.reserve(requests.size());
+
+  // Phase A — admission, serial in request order. Budget accounting is a
+  // fold over each user's history; the served policy is charged here so
+  // later same-user requests in this batch see the updated budget.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ReleaseRequest& request = requests[i];
+    ReleaseResult& out = results[base + i];
+    const std::uint64_t noise_index = next_request_index_++;
+    ++stats_.requests;
+    if (request.policy >= config_.policies.size() ||
+        !(request.radius > 0.0)) {
+      out.status = ReleaseStatus::kInvalidRequest;
+      out.spent = {0.0, 0.0};
+      ++stats_.invalid;
+      continue;
+    }
+    defense::ReleaseSession& session = session_for(request.user_id);
+    PolicyId served = request.policy;
+    ReleaseStatus status = ReleaseStatus::kGranted;
+    dp::PrivacyParams cost{config_.policies[served].release.epsilon,
+                           config_.policies[served].release.delta};
+    if (session.would_exceed(cost)) {
+      const bool can_degrade =
+          config_.degrade_policy && *config_.degrade_policy != request.policy;
+      const dp::PrivacyParams degrade_cost =
+          can_degrade
+              ? dp::PrivacyParams{
+                    config_.policies[*config_.degrade_policy].release.epsilon,
+                    config_.policies[*config_.degrade_policy].release.delta}
+              : dp::PrivacyParams{0.0, 0.0};
+      if (can_degrade && !session.would_exceed(degrade_cost)) {
+        served = *config_.degrade_policy;
+        status = ReleaseStatus::kDegraded;
+        cost = degrade_cost;
+      } else {
+        out.status = ReleaseStatus::kBudgetExhausted;
+        out.spent = session.spent();
+        ++stats_.budget_exhausted;
+        continue;
+      }
+    }
+    session.charge(cost);
+    out.status = status;
+    out.served_policy = served;
+    out.spent = session.spent();
+    if (status == ReleaseStatus::kGranted) {
+      ++stats_.granted;
+    } else {
+      ++stats_.degraded;
+    }
+    Admitted a;
+    a.index = i;
+    a.policy = served;
+    a.noise_index = noise_index;
+    admitted.push_back(std::move(a));
+  }
+
+  common::ThreadPool& pool = common::global_pool();
+
+  // Phase B — cloak each admitted request (read-only, parallel).
+  common::parallel_for_each(pool, admitted.size(), kCloakChunk,
+                            [&](std::size_t j) {
+                              Admitted& a = admitted[j];
+                              const ReleaseRequest& request =
+                                  requests[a.index];
+                              a.key.region =
+                                  cloaker_
+                                      ->cloak(request.location,
+                                              config_.policies[a.policy]
+                                                  .release.k)
+                                      .region;
+                              a.key.radius = request.radius;
+                              a.key.policy = a.policy;
+                            });
+
+  // Phase C — cache probe, serial in request order so LRU motion and the
+  // counters are scheduling-independent. Requests sharing a cold key
+  // within the batch coalesce onto one computation and count as hits.
+  std::vector<ReleaseCacheKey> missing;
+  std::unordered_map<ReleaseCacheKey, std::size_t, KeyHash> pending;
+  for (Admitted& a : admitted) {
+    if (auto hit = cache_.get(a.key)) {
+      a.aggregate = std::move(hit);
+      a.cache_hit = true;
+      ++stats_.cache_hits;
+      continue;
+    }
+    if (const auto it = pending.find(a.key); it != pending.end()) {
+      a.missing_slot = it->second;
+      a.cache_hit = true;
+      ++stats_.cache_hits;
+      continue;
+    }
+    a.missing_slot = missing.size();
+    pending.emplace(a.key, missing.size());
+    missing.push_back(a.key);
+    ++stats_.cache_misses;
+  }
+
+  // Phase D — compute the missing aggregates (parallel, the expensive
+  // part: k range queries per key).
+  std::vector<std::shared_ptr<const CloakAggregate>> computed(missing.size());
+  common::parallel_for_each(
+      pool, missing.size(), kComputeChunk, [&](std::size_t j) {
+        computed[j] =
+            std::make_shared<const CloakAggregate>(compute_aggregate(missing[j]));
+      });
+
+  // Phase E — insert in first-miss order (deterministic evictions) and
+  // resolve the coalesced requests.
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    cache_.put(missing[j], computed[j]);
+  }
+  for (Admitted& a : admitted) {
+    if (a.missing_slot != kNotMissing) a.aggregate = computed[a.missing_slot];
+  }
+
+  // Phase F — per-request noise + Eq. (9) post-processing (parallel;
+  // request i draws from substream(i) regardless of thread or order).
+  common::parallel_for_each(
+      pool, admitted.size(), kComputeChunk, [&](std::size_t j) {
+        const Admitted& a = admitted[j];
+        common::Rng rng = noise_base_.substream(a.noise_index);
+        ReleaseResult& out = results[base + a.index];
+        out.vector = noised_release(config_.policies[a.policy].release,
+                                    *a.aggregate, rng);
+        out.cache_hit = a.cache_hit;
+      });
+
+  ++stats_.batches;
+  batch_sizes_.push_back(requests.size());
+  batch_seconds_.push_back(timer.seconds());
+}
+
+void ReleaseService::drain_queue() {
+  const std::size_t n = std::min(queue_.size(), config_.max_batch);
+  std::vector<ReleaseRequest> batch(queue_.begin(),
+                                    queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  serve_batch(batch, collected_);
+}
+
+void ReleaseService::enqueue(const ReleaseRequest& request) {
+  queue_.push_back(request);
+  if (queue_.size() >= config_.max_batch) drain_queue();
+}
+
+std::vector<ReleaseResult> ReleaseService::flush() {
+  while (!queue_.empty()) drain_queue();
+  return std::exchange(collected_, {});
+}
+
+std::vector<ReleaseResult> ReleaseService::serve(
+    std::span<const ReleaseRequest> requests) {
+  if (!queue_.empty() || !collected_.empty()) {
+    throw std::logic_error("service: serve() with requests pending");
+  }
+  for (const ReleaseRequest& request : requests) enqueue(request);
+  return flush();
+}
+
+ReleaseResult ReleaseService::serve_one(const ReleaseRequest& request) {
+  return std::move(serve({&request, 1}).front());
+}
+
+}  // namespace poiprivacy::service

@@ -1,0 +1,218 @@
+// ReleaseService — the GSP's multi-user aggregate-release serving layer.
+//
+// The paper's threat model has a geo-information service provider
+// publishing protected POI frequency vectors to a large user population;
+// the library pieces (DpDefense, ReleaseSession, PrivacyAccountant) are
+// per-call, per-user. This subsystem is the long-lived in-process service
+// that sits on top of them:
+//
+//   * one lazily created, budget-enforced ReleaseSession per user;
+//   * admission control: a request whose composed (eps, delta) would
+//     exceed the ceiling is degraded to a cheaper policy (if configured)
+//     or refused with a typed ReleaseStatus — never an exception;
+//   * a sharded LRU cache of cloak-region aggregates so users cloaked
+//     into the same quadrant share the k range queries (release_cache.h);
+//   * request batching: enqueue() fills a bounded queue that drains onto
+//     the common/parallel thread pool.
+//
+// Determinism contract (the same one the eval runners honour): statuses,
+// released vectors and every counter are bit-identical for any --threads.
+// Four mechanisms make it hold:
+//   1. admission runs serially in request order (budget math is a fold
+//      over each user's history);
+//   2. cache probes/inserts run serially in request order, so LRU motion
+//      and hit/miss/eviction counters never depend on scheduling — only
+//      the aggregate computation and the per-request noise fan out;
+//   3. noise for request number i (a process-lifetime counter) draws from
+//      Rng(seed).substream(i), a pure function of (seed, i);
+//   4. a cached aggregate is a pure function of its key — its dummy draw
+//      seeds from the key hash — so cache capacity (hence eviction) can
+//      change which work is *recomputed* but never a released vector.
+//
+// Privacy note: the served aggregate is computed from the cloaked
+// region's canonical dummies, not from the requester's exact location, so
+// the pre-noise value is already k-anonymous (that is exactly what makes
+// it shareable across users); the per-request Gaussian/geometric noise
+// then provides the (eps, delta) guarantee that the accountant composes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloak/kcloak.h"
+#include "defense/session.h"
+#include "service/release_cache.h"
+
+namespace poiprivacy::service {
+
+using UserId = std::uint64_t;
+
+/// A named release policy: the DP mechanism parameters one request class
+/// is served under (k, epsilon, delta, noise kind, beta).
+struct ReleasePolicy {
+  std::string name;
+  defense::DpDefenseConfig release;
+};
+
+struct ReleaseRequest {
+  UserId user_id = 0;
+  geo::Point location;
+  double radius = 1.0;          ///< query range r in km
+  PolicyId policy = 0;          ///< index into ServiceConfig::policies
+
+  friend bool operator==(const ReleaseRequest&,
+                         const ReleaseRequest&) = default;
+};
+
+enum class ReleaseStatus : std::uint8_t {
+  kGranted = 0,          ///< served under the requested policy
+  kDegraded,             ///< budget-limited; served under degrade_policy
+  kBudgetExhausted,      ///< refused: no admissible policy fits the budget
+  kInvalidRequest,       ///< unknown policy or nonpositive radius
+};
+
+inline constexpr ReleaseStatus kAllStatuses[] = {
+    ReleaseStatus::kGranted,
+    ReleaseStatus::kDegraded,
+    ReleaseStatus::kBudgetExhausted,
+    ReleaseStatus::kInvalidRequest,
+};
+
+const char* status_name(ReleaseStatus status) noexcept;
+
+struct ReleaseResult {
+  ReleaseStatus status = ReleaseStatus::kInvalidRequest;
+  PolicyId served_policy = 0;    ///< meaningful when a vector was released
+  bool cache_hit = false;        ///< aggregate came from the release cache
+  poi::FrequencyVector vector;   ///< empty unless granted/degraded
+  dp::PrivacyParams spent;       ///< user's composed budget after this call
+
+  friend bool operator==(const ReleaseResult& a, const ReleaseResult& b) {
+    return a.status == b.status && a.served_policy == b.served_policy &&
+           a.cache_hit == b.cache_hit && a.vector == b.vector &&
+           a.spent.epsilon == b.spent.epsilon && a.spent.delta == b.spent.delta;
+  }
+};
+
+struct ServiceConfig {
+  /// At least one policy; requests address them by index.
+  std::vector<ReleasePolicy> policies;
+  /// When set, a request that would blow the budget under its own policy
+  /// is served under this (cheaper) policy instead of being refused.
+  std::optional<PolicyId> degrade_policy;
+  /// Per-user budget ceilings and composition slack (see SessionConfig).
+  double epsilon_ceiling = 8.0;
+  double delta_ceiling = 0.5;
+  double advanced_slack = 1e-6;
+  /// Total release-cache entries (sharded LRU).
+  std::size_t cache_capacity = 4096;
+  /// Bounded queue: enqueue() drains a batch once this many are pending.
+  std::size_t max_batch = 256;
+  /// Master seed for noise substreams and canonical dummy draws.
+  std::uint64_t seed = 1234;
+};
+
+/// Deterministic service counters (every field bit-identical for any
+/// thread count). Cache hits/misses are the *effective* ones — a request
+/// whose key another request in the same batch is already computing
+/// counts as a hit; misses therefore equal aggregates actually computed.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t budget_exhausted = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t users = 0;  ///< sessions created so far
+
+  std::uint64_t count(ReleaseStatus status) const noexcept;
+  double cache_hit_rate() const noexcept {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(lookups);
+  }
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+};
+
+class ReleaseService {
+ public:
+  /// Throws std::invalid_argument on an empty/ill-formed policy list or a
+  /// dangling degrade_policy index.
+  ReleaseService(const poi::PoiDatabase& db,
+                 const cloak::AdaptiveIntervalCloaker& cloaker,
+                 ServiceConfig config);
+
+  /// Queues one request; when max_batch are pending the queue drains onto
+  /// the thread pool and the batch's results are collected for flush().
+  void enqueue(const ReleaseRequest& request);
+
+  /// Drains the remaining queue and returns every result collected since
+  /// the last flush, in enqueue order.
+  std::vector<ReleaseResult> flush();
+
+  /// enqueue() + flush() over a whole trace. Requires no pending
+  /// requests from a previous partial enqueue.
+  std::vector<ReleaseResult> serve(std::span<const ReleaseRequest> requests);
+
+  /// Convenience single-request path (a batch of one); same requirement.
+  ReleaseResult serve_one(const ReleaseRequest& request);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  const ServiceStats& stats() const noexcept { return stats_; }
+  /// Raw cache counters (insertions/evictions/residency). The service
+  /// stats' hits/misses are the effective per-request ones.
+  ReleaseCacheStats cache_stats() const { return cache_.stats(); }
+  /// Wall-clock seconds spent draining each batch, in drain order (for
+  /// latency reporting; not part of the determinism contract).
+  const std::vector<double>& batch_seconds() const noexcept {
+    return batch_seconds_;
+  }
+  const std::vector<std::size_t>& batch_sizes() const noexcept {
+    return batch_sizes_;
+  }
+
+  /// Budget state of one user; zero-spend if the user was never admitted.
+  dp::PrivacyParams user_spent(UserId user) const;
+  dp::PrivacyParams user_remaining(UserId user) const;
+  std::size_t num_users() const noexcept { return sessions_.size(); }
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Admitted;
+
+  void serve_batch(std::span<const ReleaseRequest> requests,
+                   std::vector<ReleaseResult>& results);
+  void drain_queue();
+  defense::ReleaseSession& session_for(UserId user);
+  CloakAggregate compute_aggregate(const ReleaseCacheKey& key) const;
+  poi::FrequencyVector noised_release(const defense::DpDefenseConfig& policy,
+                                      const CloakAggregate& aggregate,
+                                      common::Rng& rng) const;
+
+  const poi::PoiDatabase* db_;
+  const cloak::AdaptiveIntervalCloaker* cloaker_;
+  ServiceConfig config_;
+  ReleaseCache cache_;
+  std::map<UserId, defense::ReleaseSession> sessions_;
+  std::deque<ReleaseRequest> queue_;
+  std::vector<ReleaseResult> collected_;
+  ServiceStats stats_;
+  std::vector<double> batch_seconds_;
+  std::vector<std::size_t> batch_sizes_;
+  std::uint64_t next_request_index_ = 0;  ///< noise substream counter
+  common::Rng noise_base_;
+  common::Rng aggregate_base_;
+};
+
+}  // namespace poiprivacy::service

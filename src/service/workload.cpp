@@ -1,0 +1,64 @@
+#include "service/workload.h"
+
+#include <algorithm>
+
+#include "traj/generators.h"
+
+namespace poiprivacy::service {
+
+std::vector<TimedRequest> generate_workload(const poi::City& city,
+                                            const WorkloadConfig& config) {
+  const common::Rng base(config.seed);
+  std::vector<double> radii = config.radii;
+  if (radii.empty()) radii.push_back(1.0);
+  std::vector<TimedRequest> trace;
+  trace.reserve(config.num_users * config.requests_per_user);
+
+  traj::TaxiConfig movement;
+  movement.num_taxis = 1;
+  movement.points_per_taxi = config.requests_per_user;
+  movement.min_sample_gap = config.min_gap;
+  movement.max_sample_gap = config.max_gap;
+  movement.min_speed_kmh = config.min_speed_kmh;
+  movement.max_speed_kmh = config.max_speed_kmh;
+
+  for (std::size_t user = 0; user < config.num_users; ++user) {
+    // The whole day of user u is a function of (seed, u) only, so traces
+    // are stable under changes to num_users.
+    common::Rng rng = base.substream(user);
+    const std::vector<traj::Trajectory> day =
+        traj::generate_taxi_trajectories(city, movement, rng);
+    for (const traj::TrackPoint& fix : day.front().points) {
+      TimedRequest entry;
+      entry.time = fix.time;
+      entry.request.user_id = user;
+      entry.request.location = fix.pos;
+      entry.request.radius = radii[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(radii.size()) - 1))];
+      entry.request.policy = static_cast<PolicyId>(
+          config.policy_weights.size() <= 1
+              ? 0
+              : rng.categorical(config.policy_weights));
+      trace.push_back(std::move(entry));
+    }
+  }
+
+  // Service arrival order: by time, ties broken by user id; stable_sort
+  // keeps each user's own sequence (already chronological) intact.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TimedRequest& a, const TimedRequest& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.request.user_id < b.request.user_id;
+                   });
+  return trace;
+}
+
+std::vector<ReleaseRequest> requests_of(
+    const std::vector<TimedRequest>& trace) {
+  std::vector<ReleaseRequest> out;
+  out.reserve(trace.size());
+  for (const TimedRequest& entry : trace) out.push_back(entry.request);
+  return out;
+}
+
+}  // namespace poiprivacy::service

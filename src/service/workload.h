@@ -1,0 +1,58 @@
+// Synthetic multi-user request workload for the serving layer.
+//
+// Each simulated user moves through the city for a day on the taxi
+// trajectory machinery (waypoint movement between the city's hot
+// clusters) and issues one release request per fix, with a radius and a
+// policy drawn from configurable mixes. User u's whole day derives from
+// Rng(seed).substream(u), so
+//   * the same seed reproduces the exact trace, and
+//   * user u's requests are identical no matter how many users the
+//     workload contains (adding users never perturbs existing ones).
+// The per-user streams are merged into one service-order trace sorted by
+// (time, user, sequence) — the deterministic arrival order the service's
+// determinism contract is stated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi/city_model.h"
+#include "service/release_service.h"
+#include "traj/trajectory.h"
+
+namespace poiprivacy::service {
+
+struct WorkloadConfig {
+  std::size_t num_users = 100;
+  std::size_t requests_per_user = 20;
+  std::uint64_t seed = 42;
+  /// Query radii (km), one drawn uniformly per request.
+  std::vector<double> radii = {0.5, 1.0, 2.0};
+  /// Categorical weights over ServiceConfig::policies, one draw per
+  /// request (single-policy workloads use the default).
+  std::vector<double> policy_weights = {1.0};
+  /// Movement model: fix gaps chosen so requests_per_user fixes span a
+  /// day (~40 min mean gap), speeds as the taxi generator's defaults.
+  traj::TimeSec min_gap = 10 * 60;
+  traj::TimeSec max_gap = 70 * 60;
+  double min_speed_kmh = 15.0;
+  double max_speed_kmh = 45.0;
+};
+
+/// One trace entry: the request plus its arrival time.
+struct TimedRequest {
+  ReleaseRequest request;
+  traj::TimeSec time = 0;
+
+  friend bool operator==(const TimedRequest&, const TimedRequest&) = default;
+};
+
+/// The merged day-long trace, sorted by (time, user, sequence).
+std::vector<TimedRequest> generate_workload(const poi::City& city,
+                                            const WorkloadConfig& config);
+
+/// Strips arrival times into the span shape ReleaseService::serve takes.
+std::vector<ReleaseRequest> requests_of(
+    const std::vector<TimedRequest>& trace);
+
+}  // namespace poiprivacy::service

@@ -194,6 +194,25 @@ TEST(Stats, EmpiricalCdfIsMonotone) {
   EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
 }
 
+TEST(Stats, PercentilesMatchQuantiles) {
+  Rng rng(71);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.uniform(0.0, 50.0));
+  const Percentiles p = percentiles(xs);
+  EXPECT_DOUBLE_EQ(p.p50, quantile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(p.p95, quantile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(p.p99, quantile(xs, 0.99));
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+}
+
+TEST(Stats, PercentilesOfEmptyAreZero) {
+  const Percentiles p = percentiles(std::vector<double>{});
+  EXPECT_EQ(p.p50, 0.0);
+  EXPECT_EQ(p.p95, 0.0);
+  EXPECT_EQ(p.p99, 0.0);
+}
+
 TEST(Stats, FmtFormatsDecimals) {
   EXPECT_EQ(fmt(0.12345), "0.123");
   EXPECT_EQ(fmt(1.0, 1), "1.0");
@@ -227,6 +246,24 @@ TEST(Flags, KnownFlagAcceptedWhenListGiven) {
   const char* argv[] = {"prog", "--seed", "9"};
   const Flags flags(3, argv, {"seed"});
   EXPECT_EQ(flags.get("seed", std::int64_t{0}), 9);
+}
+
+TEST(Flags, HelpImplicitlyKnown) {
+  const char* argv[] = {"prog", "--help"};
+  const Flags flags(2, argv, {"seed"});
+  EXPECT_TRUE(flags.help_requested());
+  const Flags no_help(1, argv, {"seed"});
+  EXPECT_FALSE(no_help.help_requested());
+}
+
+TEST(Flags, UsageListsKnownFlags) {
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv, {"seed", "locations"});
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("usage: prog"), std::string::npos);
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("--locations"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
 }
 
 }  // namespace

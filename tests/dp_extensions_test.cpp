@@ -152,11 +152,47 @@ TEST(Accountant, AdvancedMatchesClosedForm) {
   EXPECT_NEAR(advanced.delta, 0.5 + delta_prime, 1e-12);
 }
 
-TEST(Accountant, AdvancedRequiresUniformEpsilon) {
+TEST(Accountant, AdvancedHeterogeneousComposesPerEpsilonGroup) {
   PrivacyAccountant accountant;
-  accountant.spend({1.0, 0.0});
-  accountant.spend({0.5, 0.0});
-  EXPECT_THROW(accountant.advanced_composition(1e-5), std::logic_error);
+  for (int i = 0; i < 30; ++i) accountant.spend({0.5, 0.01});
+  for (int i = 0; i < 20; ++i) accountant.spend({0.1, 0.0});
+  EXPECT_EQ(accountant.epsilon_groups(), 2u);
+  const double delta_prime = 1e-6;
+  // Each epsilon group gets Thm 3.20 under half the slack; the group
+  // bounds then sum.
+  const auto group = [](double eps, double k, double slack) {
+    return eps * std::sqrt(2.0 * k * std::log(1.0 / slack)) +
+           k * eps * (std::exp(eps) - 1.0);
+  };
+  const double slack = delta_prime / 2.0;
+  const PrivacyParams advanced = accountant.advanced_composition(delta_prime);
+  EXPECT_NEAR(advanced.epsilon,
+              group(0.5, 30.0, slack) + group(0.1, 20.0, slack), 1e-12);
+  EXPECT_NEAR(advanced.delta, 30 * 0.01 + delta_prime, 1e-12);
+}
+
+TEST(Accountant, AdvancedHeterogeneousStillBeatsBasic) {
+  PrivacyAccountant accountant;
+  for (int i = 0; i < 120; ++i) accountant.spend({0.05, 0.0});
+  for (int i = 0; i < 80; ++i) accountant.spend({0.02, 0.0});
+  const PrivacyParams basic = accountant.basic_composition();
+  const PrivacyParams advanced = accountant.advanced_composition(1e-6);
+  EXPECT_NEAR(basic.epsilon, 120 * 0.05 + 80 * 0.02, 1e-9);
+  EXPECT_LT(advanced.epsilon, basic.epsilon);
+}
+
+TEST(Accountant, SingleEpsilonGroupMatchesHomogeneousFormula) {
+  // A homogeneous history must be unaffected by the grouping machinery:
+  // one group gets the whole slack, i.e. plain Thm 3.20.
+  PrivacyAccountant grouped;
+  for (int i = 0; i < 40; ++i) grouped.spend({0.3, 0.001});
+  EXPECT_EQ(grouped.epsilon_groups(), 1u);
+  const double delta_prime = 1e-5;
+  const double expected =
+      0.3 * std::sqrt(2.0 * 40 * std::log(1.0 / delta_prime)) +
+      40 * 0.3 * (std::exp(0.3) - 1.0);
+  EXPECT_NEAR(grouped.advanced_composition(delta_prime).epsilon, expected,
+              1e-12);
 }
 
 TEST(Accountant, AdvancedRejectsBadSlack) {

@@ -92,6 +92,56 @@ TEST(ReleaseSession, AdvancedCompositionGrantsMoreSmallReleases) {
   EXPECT_GT(advanced_grants, 2 * basic_grants);
 }
 
+TEST(ReleaseSession, RemainingShrinksWithSpendAndClampsAtZero) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  defense::SessionConfig config;
+  config.release.epsilon = 1.0;
+  config.release.delta = 0.05;
+  config.epsilon_ceiling = 2.5;
+  config.delta_ceiling = 1.0;
+  config.advanced_slack = 0.0;
+  defense::ReleaseSession session(city.db, cloaker, config);
+
+  EXPECT_DOUBLE_EQ(session.remaining().epsilon, 2.5);
+  EXPECT_DOUBLE_EQ(session.remaining().delta, 1.0);
+  session.charge({1.0, 0.05});
+  EXPECT_NEAR(session.remaining().epsilon, 1.5, 1e-12);
+  EXPECT_NEAR(session.remaining().delta, 0.95, 1e-12);
+  session.charge({1.0, 0.05});
+  session.charge({1.0, 0.05});
+  // Spent (3.0) exceeds the 2.5 ceiling; remaining clamps at zero.
+  EXPECT_DOUBLE_EQ(session.remaining().epsilon, 0.0);
+}
+
+TEST(ReleaseSession, WouldExceedGatesWithoutThrowing) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  defense::SessionConfig config;
+  config.release.epsilon = 1.0;
+  config.release.delta = 0.0;
+  config.epsilon_ceiling = 2.0;
+  config.delta_ceiling = 1.0;
+  config.advanced_slack = 0.0;
+  defense::ReleaseSession session(city.db, cloaker, config);
+
+  EXPECT_FALSE(session.would_exceed({1.0, 0.0}));
+  EXPECT_TRUE(session.would_exceed({2.5, 0.0}));
+  // A cheaper policy can still fit after the nominal one no longer does.
+  session.charge({1.0, 0.0});
+  session.charge({0.5, 0.0});
+  EXPECT_TRUE(session.would_exceed({1.0, 0.0}));
+  EXPECT_FALSE(session.would_exceed({0.5, 0.0}));
+  // Spent 1.5 + nominal 1.0 = 2.5 > 2.0, so the session counts as
+  // exhausted even though a 0.5-policy request is still admissible.
+  EXPECT_TRUE(session.exhausted());
+
+  // Invalid parameters are never admissible but must not throw.
+  EXPECT_TRUE(session.would_exceed({0.0, 0.0}));
+  EXPECT_TRUE(session.would_exceed({-1.0, 0.0}));
+  EXPECT_TRUE(session.would_exceed({0.5, 1.0}));
+}
+
 TEST(ReleaseSession, ReleasesAreValidVectors) {
   const poi::City city = make_city();
   const auto cloaker = make_cloaker(city.db);
