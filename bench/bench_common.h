@@ -8,6 +8,9 @@
 //   --threads N     evaluation threads (default hardware_concurrency;
 //                   1 restores the serial path; results are identical
 //                   for every value)
+//   --metrics[=F]   dump the obs metrics registry as JSON at exit —
+//                   to stderr, or to file F when given a value (no-op
+//                   in a -DPOIPRIVACY_NO_METRICS build)
 //   --help          print the known-flag list and exit
 #pragma once
 
@@ -36,7 +39,8 @@ struct BenchOptions {
                std::vector<std::string> extra_flags = {})
       : flags(argc, argv, [&extra_flags] {
           std::vector<std::string> known{"seed", "locations", "full",
-                                         common::Flags::kThreadsFlag};
+                                         common::Flags::kThreadsFlag,
+                                         common::Flags::kMetricsFlag};
           known.insert(known.end(), extra_flags.begin(), extra_flags.end());
           return known;
         }()) {
@@ -50,6 +54,7 @@ struct BenchOptions {
     locations = static_cast<std::size_t>(flags.get(
         "locations", static_cast<std::int64_t>(full ? 1000 : 250)));
     threads = flags.apply_threads_flag();
+    flags.apply_metrics_flag();
   }
 
   eval::WorkbenchConfig workbench_config() const {

@@ -25,7 +25,8 @@ using namespace poiprivacy;
 int main(int argc, char** argv) {
   const common::Flags flags(argc, argv,
                             {"users", "requests", "seed", "batch", "cache",
-                             "ceiling", common::Flags::kThreadsFlag});
+                             "ceiling", common::Flags::kThreadsFlag,
+                             common::Flags::kMetricsFlag});
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   const auto requests_per_user = static_cast<std::size_t>(
       flags.get("requests", static_cast<std::int64_t>(20)));
   const std::size_t threads = flags.apply_threads_flag();
+  flags.apply_metrics_flag();
 
   const poi::City city = poi::generate_city(poi::beijing_preset(), seed);
   common::Rng pop_rng(seed + 1);

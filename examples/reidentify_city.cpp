@@ -3,6 +3,7 @@
 // cities and all four location datasets.
 //
 //   ./examples/reidentify_city [--seed N] [--locations N] [--threads N]
+//                              [--metrics[=F]]
 #include <iostream>
 
 #include "common/flags.h"
@@ -15,7 +16,8 @@ using namespace poiprivacy;
 
 int main(int argc, char** argv) {
   const common::Flags flags(argc, argv,
-                            {"seed", "locations", common::Flags::kThreadsFlag});
+                            {"seed", "locations", common::Flags::kThreadsFlag,
+                             common::Flags::kMetricsFlag});
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get("locations",
                                          static_cast<std::int64_t>(250)));
   const std::size_t threads = flags.apply_threads_flag();
+  flags.apply_metrics_flag();
 
   std::cout << "building cities and datasets (seed " << config.seed
             << ", " << config.locations_per_dataset

@@ -3,7 +3,8 @@
 // outcomes, the budget-exhaustion curve and release-cache behaviour.
 //
 //   ./examples/serve_releases [--users N] [--requests N] [--seed N]
-//                             [--ceiling E] [--threads N] [--help]
+//                             [--ceiling E] [--threads N] [--metrics[=F]]
+//                             [--help]
 #include <iostream>
 
 #include "common/flags.h"
@@ -17,7 +18,8 @@ using namespace poiprivacy;
 int main(int argc, char** argv) {
   const common::Flags flags(argc, argv,
                             {"users", "requests", "seed", "ceiling",
-                             common::Flags::kThreadsFlag});
+                             common::Flags::kThreadsFlag,
+                             common::Flags::kMetricsFlag});
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   const auto requests_per_user = static_cast<std::size_t>(
       flags.get("requests", static_cast<std::int64_t>(18)));
   flags.apply_threads_flag();
+  flags.apply_metrics_flag();
 
   const poi::City city = poi::generate_city(poi::beijing_preset(), seed);
   common::Rng pop_rng(seed + 1);

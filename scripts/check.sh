@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate:
+#   1. plain build + the tier-1 test suite,
+#   2. ThreadSanitizer build + the concurrency suites (`-L tsan`),
+#   3. the metrics-determinism binary, which internally re-runs the
+#      service and eval pipelines at --threads 1/2/8 with mid-run
+#      registry scrapes and asserts bit-identical results.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+echo "== [1/3] plain build + tier-1 tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest -L tier1 --output-on-failure -j "$jobs")
+
+echo "== [2/3] ThreadSanitizer build + tsan-labelled tests =="
+cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+(cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
+
+echo "== [3/3] metrics determinism at --threads 1/2/8 =="
+./build/tests/obs_determinism_test
+
+echo "check.sh: all gates passed"

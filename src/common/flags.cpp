@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace poiprivacy::common {
 
@@ -87,6 +88,13 @@ std::size_t Flags::apply_threads_flag() const {
   if (n < 0) throw std::invalid_argument("--threads must be >= 1");
   set_default_thread_count(static_cast<std::size_t>(n));
   return default_thread_count();
+}
+
+void Flags::apply_metrics_flag() const {
+  if (!has(kMetricsFlag)) return;
+  // A bare `--metrics` is stored as the string "true" → dump to stderr.
+  const std::string path = get(kMetricsFlag, std::string{});
+  obs::dump_on_exit(path == "true" ? std::string{} : path);
 }
 
 bool Flags::get(const std::string& name, bool fallback) const {

@@ -44,7 +44,15 @@ class Flags {
   /// the flag must list kThreadsFlag among their known flags.
   std::size_t apply_threads_flag() const;
 
+  /// Reads `--metrics[=path]` and arms an at-exit JSON dump of the obs
+  /// metrics registry (obs::dump_on_exit): bare `--metrics` dumps to
+  /// stderr, `--metrics=FILE` to FILE. Does nothing without the flag, and
+  /// dumps `{}` in a -DPOIPRIVACY_NO_METRICS build. Binaries that accept
+  /// the flag must list kMetricsFlag among their known flags.
+  void apply_metrics_flag() const;
+
   static constexpr const char* kThreadsFlag = "threads";
+  static constexpr const char* kMetricsFlag = "metrics";
   static constexpr const char* kHelpFlag = "help";
 
  private:

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace poiprivacy::common {
 
 namespace {
@@ -12,6 +14,29 @@ std::atomic<std::size_t> g_default_threads{0};  // 0 = hardware default
 // callers bump it while executing tasks, so nested submissions detect they
 // are inside the pool and run inline instead of deadlocking.
 thread_local int tls_task_depth = 0;
+
+// Pool instrumentation (top-level batches only; nested inline submissions
+// are part of their enclosing task's time). queue_depth counts tasks not
+// yet claimed-and-finished in the current batch; with POIPRIVACY_NO_METRICS
+// every call below is an empty inline stub.
+struct PoolMetrics {
+  obs::Counter& batches;
+  obs::Counter& tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_seconds;
+  obs::Histogram& batch_seconds;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* metrics = new PoolMetrics{
+        obs::global_registry().counter("parallel.batches"),
+        obs::global_registry().counter("parallel.tasks"),
+        obs::global_registry().gauge("parallel.queue_depth"),
+        obs::global_registry().histogram("parallel.task_seconds"),
+        obs::global_registry().histogram("parallel.batch_seconds"),
+    };
+    return *metrics;
+  }
+};
 
 }  // namespace
 
@@ -46,11 +71,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::work_on_current_batch() {
   const std::function<void(std::size_t)>* fn = fn_;
   const std::size_t total = total_;
+  PoolMetrics& metrics = PoolMetrics::get();
   ++tls_task_depth;
   std::size_t i;
   while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < total) {
     try {
-      (*fn)(i);
+      {
+        const obs::Span span(metrics.task_seconds);
+        (*fn)(i);
+      }
+      metrics.queue_depth.add(-1);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -86,13 +116,36 @@ void ThreadPool::run_tasks(std::size_t num_tasks,
   // Serial path: single-threaded pool, a nested submission from inside a
   // task, or a batch too small to be worth waking workers for.
   if (concurrency_ <= 1 || tls_task_depth > 0 || num_tasks == 1) {
+    const bool top_level = tls_task_depth == 0;
     ++tls_task_depth;
     struct DepthGuard {
       ~DepthGuard() { --tls_task_depth; }
     } guard;
-    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    if (!top_level) {
+      // Nested submissions run inside an already-timed task.
+      for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+      return;
+    }
+    PoolMetrics& metrics = PoolMetrics::get();
+    metrics.batches.add(1);
+    metrics.tasks.add(num_tasks);
+    metrics.queue_depth.set(static_cast<std::int64_t>(num_tasks));
+    const obs::Span batch_span(metrics.batch_seconds);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      {
+        const obs::Span task_span(metrics.task_seconds);
+        fn(i);
+      }
+      metrics.queue_depth.add(-1);
+    }
     return;
   }
+
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.batches.add(1);
+  metrics.tasks.add(num_tasks);
+  metrics.queue_depth.set(static_cast<std::int64_t>(num_tasks));
+  obs::Span batch_span(metrics.batch_seconds);
 
   std::lock_guard<std::mutex> serialize(run_mu_);
   {
@@ -113,6 +166,8 @@ void ThreadPool::run_tasks(std::size_t num_tasks,
     error = error_;
     error_ = nullptr;
   }
+  batch_span.stop();
+  metrics.queue_depth.set(0);
   if (error) std::rethrow_exception(error);
 }
 

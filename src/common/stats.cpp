@@ -6,6 +6,24 @@
 
 namespace poiprivacy::common {
 
+namespace {
+
+// Value at fractional rank q * (n - 1) of an already-sorted non-empty
+// sample (type-7 linear interpolation). NaN q fails both comparisons and
+// is treated as 0 — std::clamp would pass NaN through and turn the rank
+// into an out-of-range size_t cast (UB).
+double sorted_quantile(std::span<const double> sorted, double q) noexcept {
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
   double sum = 0.0;
@@ -27,12 +45,7 @@ double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_quantile(sorted, q);
 }
 
 double min_of(std::span<const double> xs) noexcept {
@@ -49,14 +62,8 @@ Percentiles percentiles(std::span<const double> xs) {
   if (xs.empty()) return {};
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  const auto at = [&](double q) {
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
-    const auto hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  };
-  return {at(0.50), at(0.95), at(0.99)};
+  return {sorted_quantile(sorted, 0.50), sorted_quantile(sorted, 0.95),
+          sorted_quantile(sorted, 0.99)};
 }
 
 void RunningStats::add(double x) noexcept {

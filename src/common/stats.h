@@ -17,7 +17,12 @@ double stddev(std::span<const double> xs) noexcept;
 /// Median; 0 for an empty span.
 double median(std::span<const double> xs);
 
-/// Linear-interpolation quantile, q in [0, 1]; 0 for an empty span.
+/// Linear-interpolation quantile: the value at fractional rank
+/// q * (n - 1) of the sorted sample, interpolating linearly between the
+/// two neighbouring order statistics (NumPy's "linear" method, Hyndman &
+/// Fan type 7). q outside [0, 1] — including NaN — is clamped into the
+/// range; 0 for an empty span. obs::Histogram percentiles follow the
+/// same rule, so bench numbers and registry snapshots agree exactly.
 double quantile(std::span<const double> xs, double q);
 
 /// Min / max; 0 for an empty span.
@@ -32,7 +37,8 @@ struct Percentiles {
 };
 
 /// p50/p95/p99 of a sample in one sort (quantile() sorts per call);
-/// all-zero for an empty span.
+/// all-zero for an empty span. Same q * (n - 1) linear interpolation
+/// rule as quantile().
 Percentiles percentiles(std::span<const double> xs);
 
 /// Running mean/variance accumulator (Welford).

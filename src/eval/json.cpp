@@ -93,6 +93,12 @@ void JsonWriter::value_string(const std::string& x) {
       case '\r':
         out_ += "\\r";
         break;
+      case '\b':
+        out_ += "\\b";
+        break;
+      case '\f':
+        out_ += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];

@@ -2,10 +2,28 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace poiprivacy::eval {
 
 namespace {
+
+// Whole-evaluation latency spans. Pure observation: stats flow through
+// ordered_reduce unchanged whether or not metrics are compiled in.
+struct EvalMetrics {
+  obs::Histogram& attack_seconds;
+  obs::Histogram& fine_grained_seconds;
+  obs::Histogram& utility_seconds;
+
+  static EvalMetrics& get() {
+    static EvalMetrics* metrics = new EvalMetrics{
+        obs::global_registry().histogram("eval.attack_seconds"),
+        obs::global_registry().histogram("eval.fine_grained_seconds"),
+        obs::global_registry().histogram("eval.utility_seconds"),
+    };
+    return *metrics;
+  }
+};
 
 /// Locations per parallel task. Part of the determinism contract only in
 /// so far as it must not depend on the thread count (it does not); small
@@ -31,6 +49,7 @@ AttackStats reduce_attack_outcomes(AttackStats acc, AttackOutcome outcome) {
 template <typename AttackOne>
 AttackStats evaluate_attack_impl(const poi::PoiDatabase& db, std::size_t n,
                                  AttackOne&& attack_one) {
+  const obs::Span span(EvalMetrics::get().attack_seconds);
   const poi::AnchorCacheStats cache_before = db.anchor_cache_stats();
   AttackStats stats = common::ordered_reduce(
       common::global_pool(), n, kLocationChunk, AttackStats{},
@@ -89,6 +108,7 @@ double FineGrainedStats::mean_area() const {
 FineGrainedStats evaluate_fine_grained(
     const poi::PoiDatabase& db, std::span<const geo::Point> locations,
     double r, const attack::FineGrainedConfig& config) {
+  const obs::Span span(EvalMetrics::get().fine_grained_seconds);
   const attack::FineGrainedAttack fine(db, config);
 
   struct Outcome {
@@ -134,6 +154,7 @@ UtilityStats evaluate_utility_impl(std::size_t n, std::size_t top_k,
                                    const poi::PoiDatabase& db,
                                    std::span<const geo::Point> locations,
                                    double r, SampleOne&& sample_one) {
+  const obs::Span span(EvalMetrics::get().utility_seconds);
   struct Acc {
     UtilityStats stats;
     double sum = 0.0;

@@ -10,7 +10,29 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace poiprivacy::poi {
+
+namespace {
+
+// Registry mirrors of the anchor-cache shard atomics; process-wide, shared
+// across PoiDatabase instances. Observation only — anchor_cache_stats()
+// keeps reading the shard atomics.
+struct AnchorMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+
+  static AnchorMetrics& get() {
+    static AnchorMetrics* metrics = new AnchorMetrics{
+        obs::global_registry().counter("poi.anchor_cache.hits"),
+        obs::global_registry().counter("poi.anchor_cache.misses"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 // Sharded read-mostly cache for anchor frequency vectors, keyed by
 // (POI id, radius bits). Sharding keeps writer contention negligible while
@@ -106,6 +128,7 @@ const FrequencyVector& PoiDatabase::anchor_freq(PoiId id,
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      AnchorMetrics::get().hits.add(1);
       return it->second;
     }
   }
@@ -118,8 +141,10 @@ const FrequencyVector& PoiDatabase::anchor_freq(PoiId id,
       shard.entries.try_emplace(key, std::move(computed));
   if (inserted) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
+    AnchorMetrics::get().misses.add(1);
   } else {
     shard.hits.fetch_add(1, std::memory_order_relaxed);
+    AnchorMetrics::get().hits.add(1);
   }
   return it->second;
 }

@@ -1,6 +1,9 @@
 #include "service/release_cache.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <string>
 
 namespace poiprivacy::service {
 
@@ -35,6 +38,20 @@ ReleaseCache::ReleaseCache(std::size_t capacity, std::size_t shards)
   const std::size_t n = std::min(shards == 0 ? 1 : shards, capacity_);
   shard_capacity_ = (capacity_ + n - 1) / n;
   shards_ = std::vector<Shard>(n);
+  // Per-shard registry counters; shardNN names are shared across cache
+  // instances (and with POIPRIVACY_NO_METRICS all handles are the same
+  // no-op stub).
+  obs::Registry& registry = obs::global_registry();
+  shard_metrics_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    char name[48];
+    std::snprintf(name, sizeof name, "release_cache.shard%02zu", i);
+    const std::string prefix(name);
+    shard_metrics_[i].hits = &registry.counter(prefix + ".hits");
+    shard_metrics_[i].misses = &registry.counter(prefix + ".misses");
+    shard_metrics_[i].evictions = &registry.counter(prefix + ".evictions");
+  }
+  entries_gauge_ = &registry.gauge("release_cache.entries");
 }
 
 ReleaseCache::Shard& ReleaseCache::shard_for(
@@ -44,18 +61,21 @@ ReleaseCache::Shard& ReleaseCache::shard_for(
 
 std::shared_ptr<const CloakAggregate> ReleaseCache::get(
     const ReleaseCacheKey& key) {
-  Shard& shard = shard_for(key);
+  const std::size_t idx = hash(key) % shards_.size();
+  Shard& shard = shards_[idx];
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
+  shard_metrics_[idx].hits->add(1);
   return it->second->value;
 }
 
 void ReleaseCache::put(const ReleaseCacheKey& key,
                        std::shared_ptr<const CloakAggregate> value) {
-  Shard& shard = shard_for(key);
+  const std::size_t idx = hash(key) % shards_.size();
+  Shard& shard = shards_[idx];
   const std::lock_guard<std::mutex> lock(shard.mu);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     it->second->value = std::move(value);
@@ -63,12 +83,16 @@ void ReleaseCache::put(const ReleaseCacheKey& key,
     return;
   }
   ++shard.misses;
+  shard_metrics_[idx].misses->add(1);
+  entries_gauge_->add(1);
   shard.lru.push_front({key, std::move(value)});
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    shard_metrics_[idx].evictions->add(1);
+    entries_gauge_->add(-1);
   }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "geo/geometry.h"
+#include "obs/metrics.h"
 
 namespace poiprivacy::service {
 
@@ -117,11 +118,23 @@ class ReleaseCache {
     std::uint64_t evictions = 0;
   };
 
+  /// Registry mirrors of one shard's counters ("release_cache.shardNN.*",
+  /// shared across every cache instance with that shard index) plus the
+  /// process-wide residency gauge. Observation only — the deterministic
+  /// source of truth stays in Shard.
+  struct ShardMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+  };
+
   Shard& shard_for(const ReleaseCacheKey& key) const;
 
   std::size_t capacity_;
   std::size_t shard_capacity_;
   mutable std::vector<Shard> shards_;
+  std::vector<ShardMetrics> shard_metrics_;
+  obs::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace poiprivacy::service

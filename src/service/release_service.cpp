@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "dp/discrete.h"
+#include "obs/metrics.h"
 
 namespace poiprivacy::service {
 
@@ -23,6 +24,51 @@ constexpr std::size_t kNotMissing = static_cast<std::size_t>(-1);
 struct KeyHash {
   std::size_t operator()(const ReleaseCacheKey& key) const noexcept {
     return static_cast<std::size_t>(ReleaseCache::hash(key));
+  }
+};
+
+/// Registry mirrors of the deterministic ServiceStats counters plus the
+/// per-phase wall-clock of the 6-phase batch pipeline. Observation only:
+/// nothing here feeds back into admission, caching, or released vectors
+/// (tests/obs_determinism_test.cpp), and POIPRIVACY_NO_METRICS compiles
+/// every call into an empty stub.
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& granted;
+  obs::Counter& degraded;
+  obs::Counter& budget_exhausted;
+  obs::Counter& invalid;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& batches;
+  obs::Histogram& batch_seconds;
+  obs::Histogram& admission_seconds;
+  obs::Histogram& cloak_seconds;
+  obs::Histogram& probe_seconds;
+  obs::Histogram& compute_seconds;
+  obs::Histogram& insert_seconds;
+  obs::Histogram& noise_seconds;
+
+  static ServiceMetrics& get() {
+    obs::Registry& reg = obs::global_registry();
+    static ServiceMetrics* metrics = new ServiceMetrics{
+        reg.counter("service.requests"),
+        reg.counter("service.granted"),
+        reg.counter("service.degraded"),
+        reg.counter("service.budget_exhausted"),
+        reg.counter("service.invalid"),
+        reg.counter("service.cache_hits"),
+        reg.counter("service.cache_misses"),
+        reg.counter("service.batches"),
+        reg.histogram("service.batch_seconds"),
+        reg.histogram("service.phase.admission_seconds"),
+        reg.histogram("service.phase.cloak_seconds"),
+        reg.histogram("service.phase.cache_probe_seconds"),
+        reg.histogram("service.phase.compute_seconds"),
+        reg.histogram("service.phase.cache_insert_seconds"),
+        reg.histogram("service.phase.noise_seconds"),
+    };
+    return *metrics;
   }
 };
 
@@ -183,7 +229,9 @@ struct ReleaseService::Admitted {
 
 void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
                                  std::vector<ReleaseResult>& results) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
   const common::Stopwatch timer;
+  const obs::Span batch_span(metrics.batch_seconds);
   const std::size_t base = results.size();
   results.resize(base + requests.size());
   std::vector<Admitted> admitted;
@@ -192,16 +240,19 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
   // Phase A — admission, serial in request order. Budget accounting is a
   // fold over each user's history; the served policy is charged here so
   // later same-user requests in this batch see the updated budget.
+  obs::Span admission_span(metrics.admission_seconds);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const ReleaseRequest& request = requests[i];
     ReleaseResult& out = results[base + i];
     const std::uint64_t noise_index = next_request_index_++;
     ++stats_.requests;
+    metrics.requests.add(1);
     if (request.policy >= config_.policies.size() ||
         !(request.radius > 0.0)) {
       out.status = ReleaseStatus::kInvalidRequest;
       out.spent = {0.0, 0.0};
       ++stats_.invalid;
+      metrics.invalid.add(1);
       continue;
     }
     defense::ReleaseSession& session = session_for(request.user_id);
@@ -226,6 +277,7 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
         out.status = ReleaseStatus::kBudgetExhausted;
         out.spent = session.spent();
         ++stats_.budget_exhausted;
+        metrics.budget_exhausted.add(1);
         continue;
       }
     }
@@ -235,8 +287,10 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
     out.spent = session.spent();
     if (status == ReleaseStatus::kGranted) {
       ++stats_.granted;
+      metrics.granted.add(1);
     } else {
       ++stats_.degraded;
+      metrics.degraded.add(1);
     }
     Admitted a;
     a.index = i;
@@ -244,10 +298,12 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
     a.noise_index = noise_index;
     admitted.push_back(std::move(a));
   }
+  admission_span.stop();
 
   common::ThreadPool& pool = common::global_pool();
 
   // Phase B — cloak each admitted request (read-only, parallel).
+  obs::Span cloak_span(metrics.cloak_seconds);
   common::parallel_for_each(pool, admitted.size(), kCloakChunk,
                             [&](std::size_t j) {
                               Admitted& a = admitted[j];
@@ -262,10 +318,12 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
                               a.key.radius = request.radius;
                               a.key.policy = a.policy;
                             });
+  cloak_span.stop();
 
   // Phase C — cache probe, serial in request order so LRU motion and the
   // counters are scheduling-independent. Requests sharing a cold key
   // within the batch coalesce onto one computation and count as hits.
+  obs::Span probe_span(metrics.probe_seconds);
   std::vector<ReleaseCacheKey> missing;
   std::unordered_map<ReleaseCacheKey, std::size_t, KeyHash> pending;
   for (Admitted& a : admitted) {
@@ -273,40 +331,49 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
       a.aggregate = std::move(hit);
       a.cache_hit = true;
       ++stats_.cache_hits;
+      metrics.cache_hits.add(1);
       continue;
     }
     if (const auto it = pending.find(a.key); it != pending.end()) {
       a.missing_slot = it->second;
       a.cache_hit = true;
       ++stats_.cache_hits;
+      metrics.cache_hits.add(1);
       continue;
     }
     a.missing_slot = missing.size();
     pending.emplace(a.key, missing.size());
     missing.push_back(a.key);
     ++stats_.cache_misses;
+    metrics.cache_misses.add(1);
   }
+  probe_span.stop();
 
   // Phase D — compute the missing aggregates (parallel, the expensive
   // part: k range queries per key).
+  obs::Span compute_span(metrics.compute_seconds);
   std::vector<std::shared_ptr<const CloakAggregate>> computed(missing.size());
   common::parallel_for_each(
       pool, missing.size(), kComputeChunk, [&](std::size_t j) {
         computed[j] =
             std::make_shared<const CloakAggregate>(compute_aggregate(missing[j]));
       });
+  compute_span.stop();
 
   // Phase E — insert in first-miss order (deterministic evictions) and
   // resolve the coalesced requests.
+  obs::Span insert_span(metrics.insert_seconds);
   for (std::size_t j = 0; j < missing.size(); ++j) {
     cache_.put(missing[j], computed[j]);
   }
   for (Admitted& a : admitted) {
     if (a.missing_slot != kNotMissing) a.aggregate = computed[a.missing_slot];
   }
+  insert_span.stop();
 
   // Phase F — per-request noise + Eq. (9) post-processing (parallel;
   // request i draws from substream(i) regardless of thread or order).
+  obs::Span noise_span(metrics.noise_seconds);
   common::parallel_for_each(
       pool, admitted.size(), kComputeChunk, [&](std::size_t j) {
         const Admitted& a = admitted[j];
@@ -316,8 +383,10 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
                                     *a.aggregate, rng);
         out.cache_hit = a.cache_hit;
       });
+  noise_span.stop();
 
   ++stats_.batches;
+  metrics.batches.add(1);
   batch_sizes_.push_back(requests.size());
   batch_seconds_.push_back(timer.seconds());
 }

@@ -1,0 +1,264 @@
+// The obs metrics layer's own contracts: counters sum across threads,
+// histograms survive the empty/single/all-equal edge cases without NaN,
+// exact percentiles agree with common::percentiles, and the registry
+// hands out stable handles and renders in registration order.
+//
+// Behavioural assertions are gated on obs::kMetricsEnabled so this suite
+// still compiles (and trivially passes) in a -DPOIPRIVACY_NO_METRICS tree.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "eval/json.h"
+#include "obs/metrics.h"
+
+namespace poiprivacy {
+namespace {
+
+TEST(Counter, SumsAcrossThreads) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("c");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.add(5);
+  EXPECT_EQ(counter.value(), kThreads * kPerThread + 5);
+}
+
+TEST(Gauge, SetAddValue) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("g");
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.set(7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.set(0);
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZeroNoNaN) {
+  obs::Registry registry;
+  const obs::HistogramSnapshot snap = registry.histogram("h").snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p95, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_FALSE(std::isnan(snap.mean()));
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  hist.record(2.5);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 2.5);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(snap.min, 2.5);
+  EXPECT_DOUBLE_EQ(snap.max, 2.5);
+  EXPECT_DOUBLE_EQ(snap.p50, 2.5);
+  EXPECT_DOUBLE_EQ(snap.p95, 2.5);
+  EXPECT_DOUBLE_EQ(snap.p99, 2.5);
+}
+
+TEST(Histogram, AllEqualValues) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  for (int i = 0; i < 100; ++i) hist.record(3.0);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p95, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 3.0);
+  // Every identical value lands in the same log bucket.
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].second, 100u);
+  EXPECT_GE(snap.buckets[0].first, 3.0);
+}
+
+TEST(Histogram, ZeroAndNegativeValuesLandInUnderflowBucket) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  hist.record(0.0);
+  hist.record(-1.0);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, -1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50, -0.5);  // linear interpolation between the two
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].second, 2u);
+}
+
+TEST(Histogram, ExactPercentilesMatchCommonPercentiles) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  common::Rng rng(2024);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.exponential(3.0));
+  for (const double v : values) hist.record(v);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  const common::Percentiles expected = common::percentiles(values);
+  EXPECT_DOUBLE_EQ(snap.p50, expected.p50);
+  EXPECT_DOUBLE_EQ(snap.p95, expected.p95);
+  EXPECT_DOUBLE_EQ(snap.p99, expected.p99);
+  EXPECT_DOUBLE_EQ(snap.min, common::min_of(values));
+  EXPECT_DOUBLE_EQ(snap.max, common::max_of(values));
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(Histogram, SnapshotIsCumulativeAcrossScrapes) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  hist.record(1.0);
+  EXPECT_EQ(hist.snapshot().count, 1u);
+  hist.record(2.0);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.p50, 1.5);
+}
+
+TEST(Histogram, SamplesBeyondCapAreDroppedButStillBucketed) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  constexpr std::uint64_t kTotal = 70000;  // cap is 65536
+  for (std::uint64_t i = 0; i < kTotal; ++i) hist.record(1.0);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.dropped, kTotal - 65536);
+  std::uint64_t bucketed = 0;
+  for (const auto& [bound, count] : snap.buckets) bucketed += count;
+  EXPECT_EQ(bucketed, kTotal);
+  EXPECT_DOUBLE_EQ(snap.p50, 1.0);
+}
+
+TEST(Span, RecordsElapsedSeconds) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  {
+    const obs::Span span(hist);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.min, 0.0);
+}
+
+TEST(Span, StopIsIdempotent) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Histogram& hist = registry.histogram("h");
+  {
+    obs::Span span(hist);
+    span.stop();
+    span.stop();  // second stop and the destructor must not re-record
+  }
+  EXPECT_EQ(hist.snapshot().count, 1u);
+}
+
+TEST(Registry, FindOrCreateReturnsStableHandles) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("x");
+  obs::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+  registry.gauge("y");
+  registry.histogram("z");
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x"), std::logic_error);
+  registry.histogram("h");
+  EXPECT_THROW(registry.counter("h"), std::logic_error);
+}
+
+TEST(Registry, JsonRendersInRegistrationOrder) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  registry.counter("zz.second").add(2);
+  registry.counter("aa.first").add(1);
+  registry.histogram("hh.third").record(1.0);
+  const std::string json = registry.json();
+  const auto z = json.find("zz.second");
+  const auto a = json.find("aa.first");
+  const auto h = json.find("hh.third");
+  ASSERT_NE(z, std::string::npos);
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(h, std::string::npos);
+  EXPECT_LT(z, a);  // registration order, not lexicographic
+  EXPECT_LT(a, h);
+  EXPECT_NE(json.find("\"zz.second\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(Registry, TableListsEveryMetric) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Registry registry;
+  registry.counter("requests").add(3);
+  registry.gauge("depth").set(4);
+  registry.histogram("lat").record(0.25);
+  const std::string table = registry.table();
+  EXPECT_NE(table.find("requests"), std::string::npos);
+  EXPECT_NE(table.find("depth"), std::string::npos);
+  EXPECT_NE(table.find("lat"), std::string::npos);
+}
+
+TEST(Registry, RenderJsonComposesIntoEnclosingDocument) {
+  obs::Registry registry;
+  if (obs::kMetricsEnabled) registry.counter("c").add(1);
+  eval::JsonWriter json;
+  json.begin_object();
+  json.key("metrics");
+  registry.render_json(json);
+  json.field("after", std::int64_t{7});
+  json.end_object();
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(json.str(), "{\"metrics\":{\"c\":1},\"after\":7}");
+  } else {
+    EXPECT_EQ(json.str(), "{\"metrics\":{},\"after\":7}");
+  }
+}
+
+TEST(GlobalRegistry, IsASingleton) {
+  EXPECT_EQ(&obs::global_registry(), &obs::global_registry());
+}
+
+}  // namespace
+}  // namespace poiprivacy
