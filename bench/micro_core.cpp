@@ -2,9 +2,21 @@
 // query interface, the attacks, and the defense pipeline, plus the grid
 // resolution sweep for the feasible-area estimator called out in
 // DESIGN.md.
+//
+// Two run modes:
+//   * default — the google-benchmark runner (all --benchmark_* flags work);
+//   * --json FILE — the fixed kernel/aggregate suite below, timed by a
+//     small in-house harness that reports ops/sec, per-op CPU time
+//     (CLOCK_PROCESS_CPUTIME_ID) and wall-clock p50/p95/p99 as JSON.
+//     scripts/bench.sh commits the output as BENCH_micro_core.json;
+//     --smoke shrinks the iteration counts to a build-gate sanity check.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <string_view>
 
 #include "attack/fine_grained.h"
@@ -12,11 +24,15 @@
 #include "attack/region_reid.h"
 #include "cloak/kcloak.h"
 #include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
 #include "defense/opt_defense.h"
+#include "eval/json.h"
 #include "eval/runner.h"
 #include "geo/geometry.h"
 #include "opt/distortion.h"
 #include "poi/city_model.h"
+#include "poi/tile_aggregates.h"
 
 namespace {
 
@@ -188,14 +204,272 @@ void BM_DisksIntersectionArea(benchmark::State& state) {
 }
 BENCHMARK(BM_DisksIntersectionArea)->Arg(64)->Arg(256);
 
+// ---- Frequency-kernel microbenches ----------------------------------------
+//
+// Vector lengths are the real per-city type counts: 177 (Beijing preset)
+// and 272 (NYC preset). The pair corpus mixes near-dominating rows (as
+// the reid scan sees for surviving candidates) with independent rows (the
+// common, quickly-violated case).
+
+struct KernelCorpus {
+  std::vector<poi::FrequencyVector> as, bs;
+};
+
+const KernelCorpus& kernel_corpus(std::size_t m) {
+  static std::vector<std::pair<std::size_t, KernelCorpus>> cache;
+  for (const auto& [len, corpus] : cache) {
+    if (len == m) return corpus;
+  }
+  common::Rng rng(977 + m);
+  KernelCorpus corpus;
+  constexpr std::size_t kPairs = 64;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    poi::FrequencyVector a(m), b(m);
+    const bool near = p % 2 == 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      a[i] = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+      b[i] = near ? std::max<std::int32_t>(
+                        0, a[i] - static_cast<std::int32_t>(
+                                      rng.uniform_int(0, 1)))
+                  : static_cast<std::int32_t>(rng.uniform_int(0, 50));
+    }
+    corpus.as.push_back(std::move(a));
+    corpus.bs.push_back(std::move(b));
+  }
+  cache.emplace_back(m, std::move(corpus));
+  return cache.back().second;
+}
+
+void BM_KernelDominates(benchmark::State& state) {
+  const KernelCorpus& c = kernel_corpus(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t p = i++ % c.as.size();
+    benchmark::DoNotOptimize(poi::dominates(c.as[p], c.bs[p]));
+  }
+}
+BENCHMARK(BM_KernelDominates)->Arg(177)->Arg(272);
+
+void BM_KernelL1Distance(benchmark::State& state) {
+  const KernelCorpus& c = kernel_corpus(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t p = i++ % c.as.size();
+    benchmark::DoNotOptimize(poi::l1_distance(c.as[p], c.bs[p]));
+  }
+}
+BENCHMARK(BM_KernelL1Distance)->Arg(177)->Arg(272);
+
+void BM_FreqInto(benchmark::State& state) {
+  const poi::PoiDatabase& db = beijing().db;
+  const double r = static_cast<double>(state.range(0)) / 10.0;
+  poi::FrequencyVector reused;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    db.freq_into(location_for(++i), r, reused);
+    benchmark::DoNotOptimize(reused.data());
+  }
+  state.SetLabel("r_km=" + std::to_string(r) + " (vs BM_Freq: allocating)");
+}
+BENCHMARK(BM_FreqInto)->Arg(5)->Arg(20)->Arg(40);
+
+// ---- The --json harness ---------------------------------------------------
+
+double cpu_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+/// Times `op` for `reps` repetitions of `iters` calls each and appends one
+/// JSON object: ops/sec over the whole run, mean CPU ns per op, and the
+/// p50/p95/p99 of the per-repetition wall ns per op.
+template <typename Fn>
+void emit_bench(eval::JsonWriter& json, const std::string& name,
+                std::size_t reps, std::size_t iters, Fn&& op) {
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t warm = 0; warm < iters / 4 + 1; ++warm) op();
+
+  std::vector<double> per_op_ns;
+  per_op_ns.reserve(reps);
+  const double cpu0 = cpu_now_ns();
+  const Clock::time_point wall0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t it = 0; it < iters; ++it) op();
+    per_op_ns.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
+        static_cast<double>(iters));
+  }
+  const double n = static_cast<double>(reps * iters);
+  const double cpu_ns_per_op = (cpu_now_ns() - cpu0) / n;
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+  const common::Percentiles pct = common::percentiles(per_op_ns);
+
+  json.begin_object();
+  json.field("name", name);
+  json.field("iterations", static_cast<std::uint64_t>(reps * iters));
+  json.field("ops_per_sec", n / wall_seconds);
+  json.field("cpu_ns_per_op", cpu_ns_per_op);
+  json.field("wall_ns_per_op_p50", pct.p50);
+  json.field("wall_ns_per_op_p95", pct.p95);
+  json.field("wall_ns_per_op_p99", pct.p99);
+  json.end_object();
+}
+
+/// The fixed suite behind --json: every vectorized kernel next to its
+/// scalar_ref oracle (the committed BENCH files record the speedup), the
+/// allocation-free aggregate paths next to the allocating one, and the
+/// pruned re-identification scan.
+int run_json_suite(const std::string& path, bool smoke) {
+  const std::size_t scale = smoke ? 50 : 1;
+  const std::size_t kernel_reps = smoke ? 3 : 25;
+  const std::size_t kernel_iters = 20000 / scale;
+  const std::size_t freq_reps = smoke ? 3 : 15;
+  const std::size_t freq_iters = 600 / scale;
+  const std::size_t reid_reps = smoke ? 2 : 10;
+  const std::size_t reid_iters = 60 / scale + 1;
+
+  eval::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "micro_core");
+  json.field("mode", smoke ? "smoke" : "full");
+  json.key("results");
+  json.begin_array();
+
+  for (const std::size_t m : {std::size_t{177}, std::size_t{272}}) {
+    const KernelCorpus& c = kernel_corpus(m);
+    const std::string tag = "_" + std::to_string(m);
+    const std::size_t pairs = c.as.size();
+    std::size_t i = 0;
+
+    // Even corpus indices are near-dominating pairs (the scalar loop must
+    // scan the whole row — the regime the straight-line kernel targets);
+    // odd indices are independent pairs violated almost immediately (the
+    // regime dominates_early_exit targets).
+    const auto pass_pair = [&] { return 2 * (i++ % (pairs / 2)); };
+    const auto fail_pair = [&] { return 2 * (i++ % (pairs / 2)) + 1; };
+    emit_bench(json, "scalar_dominates_pass" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = pass_pair();
+                 benchmark::DoNotOptimize(
+                     poi::scalar_ref::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_dominates_pass" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = pass_pair();
+                 benchmark::DoNotOptimize(poi::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_dominates_fail" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = fail_pair();
+                 benchmark::DoNotOptimize(
+                     poi::scalar_ref::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_dominates_early_exit_fail" + tag, kernel_reps,
+               kernel_iters, [&] {
+                 const std::size_t p = fail_pair();
+                 benchmark::DoNotOptimize(
+                     poi::dominates_early_exit(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_l1_distance" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 benchmark::DoNotOptimize(
+                     poi::scalar_ref::l1_distance(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_l1_distance" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 benchmark::DoNotOptimize(poi::l1_distance(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_total" + tag, kernel_reps, kernel_iters, [&] {
+      benchmark::DoNotOptimize(poi::scalar_ref::total(c.as[i++ % pairs]));
+    });
+    emit_bench(json, "kernel_total" + tag, kernel_reps, kernel_iters, [&] {
+      benchmark::DoNotOptimize(poi::total(c.as[i++ % pairs]));
+    });
+    poi::FrequencyVector diff_out(m);
+    emit_bench(json, "scalar_diff" + tag, kernel_reps, kernel_iters, [&] {
+      const std::size_t p = i++ % pairs;
+      benchmark::DoNotOptimize(poi::scalar_ref::diff(c.as[p], c.bs[p]));
+    });
+    emit_bench(json, "kernel_diff_into" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 poi::diff_into(c.as[p], c.bs[p], diff_out);
+                 benchmark::DoNotOptimize(diff_out.data());
+               });
+    emit_bench(json, "scalar_topk_jaccard" + tag, kernel_reps,
+               kernel_iters / 10 + 1, [&] {
+                 const std::size_t p = i++ % pairs;
+                 benchmark::DoNotOptimize(
+                     poi::scalar_ref::top_k_jaccard(c.as[p], c.bs[p], 10));
+               });
+    emit_bench(json, "kernel_topk_jaccard" + tag, kernel_reps,
+               kernel_iters / 10 + 1, [&] {
+                 const std::size_t p = i++ % pairs;
+                 benchmark::DoNotOptimize(
+                     poi::top_k_jaccard(c.as[p], c.bs[p], 10));
+               });
+  }
+
+  // Aggregate paths on the Beijing preset at the default r = 2 km.
+  const poi::PoiDatabase& db = beijing().db;
+  const double r = 2.0;
+  std::int64_t loc = 0;
+  emit_bench(json, "freq_alloc_r2", freq_reps, freq_iters, [&] {
+    benchmark::DoNotOptimize(db.freq(location_for(++loc), r));
+  });
+  poi::FrequencyVector reused;
+  emit_bench(json, "freq_into_r2", freq_reps, freq_iters, [&] {
+    db.freq_into(location_for(++loc), r, reused);
+    benchmark::DoNotOptimize(reused.data());
+  });
+  std::vector<geo::Point> centers;
+  for (std::int64_t j = 0; j < 64; ++j) centers.push_back(location_for(j));
+  poi::FreqArena arena;
+  emit_bench(json, "freq_batch64_r2", freq_reps, freq_iters / 32 + 1, [&] {
+    db.freq_batch(centers, r, arena);
+    benchmark::DoNotOptimize(arena.row(0).data());
+  });
+  const poi::TileAggregates& tiles = db.tile_aggregates();
+  emit_bench(json, "tile_total_upper_bound_r4", kernel_reps, kernel_iters,
+             [&] {
+               benchmark::DoNotOptimize(
+                   tiles.total_upper_bound(location_for(++loc), 2.0 * r));
+             });
+  const attack::RegionReidentifier reid(db);
+  emit_bench(json, "region_reid_infer_r2", reid_reps, reid_iters, [&] {
+    const poi::FrequencyVector f = db.freq(location_for(++loc), r);
+    benchmark::DoNotOptimize(reid.infer(f, r));
+  });
+
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "micro_core: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  return out ? 0 : 1;
+}
+
 }  // namespace
 
 // Custom main: google-benchmark rejects unknown flags, so pull out our
-// process-wide --threads N (default: hardware_concurrency) before handing
-// the rest to the benchmark runner.
+// process-wide --threads N (default: hardware_concurrency) plus the
+// --json FILE / --smoke harness flags before handing the rest to the
+// benchmark runner.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   std::size_t threads = 0;
+  std::string json_path;
+  bool smoke = false;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -207,9 +481,22 @@ int main(int argc, char** argv) {
           std::atoll(arg.substr(std::string_view("--threads=").size()).data()));
       continue;
     }
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::string_view("--json=").size());
+      continue;
+    }
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   poiprivacy::common::set_default_thread_count(threads);
+  if (!json_path.empty()) return run_json_suite(json_path, smoke);
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

@@ -9,6 +9,7 @@
 // Results (statuses, vectors, counters) are bit-identical for any
 // --threads; only the timing numbers vary.
 #include <cstdint>
+#include <ctime>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -72,9 +73,18 @@ int main(int argc, char** argv) {
             << users << " users, threads=" << threads
             << ", batch=" << config.max_batch << "\n";
 
+  // Process CPU time brackets the serve: on a single-core host wall
+  // clock mostly tracks scheduler noise, so per-request CPU time is the
+  // comparable number across runs.
+  timespec cpu0{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu0);
   const common::Stopwatch timer;
   const std::vector<service::ReleaseResult> results = gsp.serve(trace);
   const double seconds = timer.seconds();
+  timespec cpu1{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu1);
+  const double cpu_seconds = static_cast<double>(cpu1.tv_sec - cpu0.tv_sec) +
+                             static_cast<double>(cpu1.tv_nsec - cpu0.tv_nsec) / 1e9;
 
   // Per-request latency: each request is attributed its batch's drain
   // time divided by the batch size (requests in a batch are served
@@ -103,8 +113,11 @@ int main(int argc, char** argv) {
   json.field("batch", static_cast<std::uint64_t>(config.max_batch));
   json.field("seed", seed);
   json.field("seconds", seconds);
+  json.field("cpu_seconds", cpu_seconds);
   json.field("requests_per_sec",
              static_cast<double>(trace.size()) / seconds);
+  json.field("cpu_us_per_request",
+             cpu_seconds * 1e6 / static_cast<double>(trace.size()));
   json.key("latency_ms");
   json.begin_object();
   json.field("p50", latency.p50);

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Perf trajectory recorder: builds a Release tree and runs the two
+# JSON-emitting benchmarks, writing
+#
+#   BENCH_micro_core.json           kernel microbenches (ops/sec, per-op
+#                                   CPU time, wall-clock p50/p95/p99)
+#   BENCH_service_throughput.json   serving-layer req/s + latency
+#                                   percentiles + per-request CPU time
+#
+# into the output directory (default: repo root). Commit the files next
+# to the change that produced them so the perf history lives in git.
+#
+# Usage: scripts/bench.sh [outdir] [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-.}"
+jobs="${2:-$(nproc)}"
+mkdir -p "$outdir"
+
+echo "== bench.sh: Release build =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$jobs" --target micro_core service_throughput
+
+echo "== bench.sh: micro_core kernel benches =="
+./build-release/bench/micro_core --json "$outdir/BENCH_micro_core.json" \
+  --threads 1
+echo "wrote $outdir/BENCH_micro_core.json"
+
+echo "== bench.sh: service_throughput =="
+./build-release/bench/service_throughput --threads 1 \
+  > "$outdir/BENCH_service_throughput.json"
+echo "wrote $outdir/BENCH_service_throughput.json"

@@ -4,7 +4,10 @@
 #   2. ThreadSanitizer build + the concurrency suites (`-L tsan`),
 #   3. the metrics-determinism binary, which internally re-runs the
 #      service and eval pipelines at --threads 1/2/8 with mid-run
-#      registry scrapes and asserts bit-identical results.
+#      registry scrapes and asserts bit-identical results,
+#   4. a Release-build bench smoke: micro_core --json --smoke must run
+#      the whole kernel suite and emit parseable JSON (catches perf
+#      harness rot without paying for a full bench run).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -12,17 +15,31 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/3] plain build + tier-1 tests =="
+echo "== [1/4] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/3] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/4] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/3] metrics determinism at --threads 1/2/8 =="
+echo "== [3/4] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
+
+echo "== [4/4] Release bench smoke =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$jobs" --target micro_core
+smoke_json="$(mktemp)"
+./build-release/bench/micro_core --json "$smoke_json" --smoke --threads 1
+python3 -c "
+import json, sys
+with open('$smoke_json') as f:
+    doc = json.load(f)
+assert doc['bench'] == 'micro_core' and doc['results'], 'empty bench output'
+print('bench smoke:', len(doc['results']), 'benchmarks ran')
+"
+rm -f "$smoke_json"
 
 echo "check.sh: all gates passed"

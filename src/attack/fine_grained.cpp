@@ -115,6 +115,24 @@ FineGrainedResult FineGrainedAttack::infer(
                      });
   }
 
+  // Tile-envelope prune for the dominance-tested (pruned-rule) anchors
+  // below: same exact rejection as the baseline attack's, probing the
+  // rarest present types first. A candidate of the type currently being
+  // visited always contributes to its own window, so its own bound never
+  // fires — harmless, the other probes still reject.
+  constexpr std::size_t kPruneTypes = 4;
+  const std::vector<poi::TypeId> rare =
+      rare_present_types(*db_, released, kPruneTypes);
+  const poi::TileAggregates& tiles = db_->tile_aggregates();
+  const std::int64_t released_total = poi::total(released);
+  const auto tile_pruned = [&](geo::Point pos) {
+    const poi::TileAggregates::Window win = tiles.window(pos, 2.0 * r);
+    for (const poi::TypeId t : rare) {
+      if (win.type_bound(t) < released[t]) return true;
+    }
+    return win.total_bound() < released_total;
+  };
+
   FeasibleRegion region({anchor_pos, r}, config_.area_resolution);
   const auto consider = [&](poi::PoiId id) {
     if (result.aux_anchors.size() >= config_.max_aux) return;
@@ -142,6 +160,7 @@ FineGrainedResult FineGrainedAttack::infer(
       if (f_diff[t] > config_.max_pruned_diff) continue;
       for (const poi::PoiId id : by_type[t]) {
         if (result.aux_anchors.size() >= config_.max_aux) break;
+        if (tile_pruned(db_->poi(id).pos)) continue;
         const poi::FrequencyVector& f_p = db_->anchor_freq(id, 2.0 * r);
         if (poi::dominates(f_p, released)) consider(id);
       }

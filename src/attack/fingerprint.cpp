@@ -16,14 +16,15 @@ FingerprintAttack::FingerprintAttack(const poi::PoiDatabase& db, double r,
                                                config_.cell_km)));
   const double envelope_radius =
       r + config_.cell_km * std::numbers::sqrt2 / 2.0;
-  envelopes_.reserve(static_cast<std::size_t>(nx_) * ny_);
+  std::vector<geo::Point> centers;
+  centers.reserve(static_cast<std::size_t>(nx_) * ny_);
   for (int iy = 0; iy < ny_; ++iy) {
     for (int ix = 0; ix < nx_; ++ix) {
-      const geo::Point center{bounds.min_x + (ix + 0.5) * config_.cell_km,
-                              bounds.min_y + (iy + 0.5) * config_.cell_km};
-      envelopes_.push_back(db.freq(center, envelope_radius));
+      centers.push_back({bounds.min_x + (ix + 0.5) * config_.cell_km,
+                         bounds.min_y + (iy + 0.5) * config_.cell_km});
     }
   }
+  db.freq_batch(centers, envelope_radius, envelopes_);
 }
 
 geo::Point FingerprintAttack::cell_center(std::uint32_t cell) const {
@@ -39,8 +40,9 @@ FingerprintResult FingerprintAttack::infer(
   FingerprintResult result;
   double sum_x = 0.0;
   double sum_y = 0.0;
-  for (std::uint32_t cell = 0; cell < envelopes_.size(); ++cell) {
-    if (poi::dominates(envelopes_[cell], released)) {
+  // Most cells fail dominance, so the early-exit variant wins here.
+  for (std::uint32_t cell = 0; cell < envelopes_.rows(); ++cell) {
+    if (poi::dominates_early_exit(envelopes_.row(cell), released)) {
       result.feasible_cells.push_back(cell);
       const geo::Point c = cell_center(cell);
       sum_x += c.x;

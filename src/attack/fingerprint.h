@@ -46,7 +46,7 @@ class FingerprintAttack {
   bool covers(const FingerprintResult& result, geo::Point location) const;
 
   double r() const noexcept { return r_; }
-  std::size_t num_cells() const noexcept { return envelopes_.size(); }
+  std::size_t num_cells() const noexcept { return envelopes_.rows(); }
   geo::Point cell_center(std::uint32_t cell) const;
 
  private:
@@ -55,7 +55,9 @@ class FingerprintAttack {
   FingerprintConfig config_;
   int nx_ = 0;
   int ny_ = 0;
-  std::vector<poi::FrequencyVector> envelopes_;
+  /// One envelope row per cell, contiguous so the dominance scan in
+  /// infer() streams straight through one buffer.
+  poi::FreqArena envelopes_;
 };
 
 }  // namespace poiprivacy::attack

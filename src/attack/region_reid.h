@@ -50,4 +50,16 @@ class RegionReidentifier {
 bool attack_success(const ReidResult& result, const poi::PoiDatabase& db,
                     geo::Point true_location, double r) noexcept;
 
+/// The `max_n` citywide-rarest types present in `released`, rarest first,
+/// excluding `skip`. These drive the tile-envelope candidate prune shared
+/// by the re-identification attacks: a rare type has few POIs citywide, so
+/// most candidate windows contain zero of them and one integer comparison
+/// (`window.type_bound(t) < released[t]`) rejects the candidate before any
+/// disk aggregation or cache lookup. `skip` exists because a candidate of
+/// type t always contributes to its own window, making the t-bound useless
+/// against pivot-type candidates.
+std::vector<poi::TypeId> rare_present_types(
+    const poi::PoiDatabase& db, const poi::FrequencyVector& released,
+    std::size_t max_n, std::optional<poi::TypeId> skip = std::nullopt);
+
 }  // namespace poiprivacy::attack

@@ -4,8 +4,8 @@
 
 namespace poiprivacy::attack {
 
-bool dominates_tolerant(const poi::FrequencyVector& a,
-                        const poi::FrequencyVector& b, int max_violations,
+bool dominates_tolerant(std::span<const std::int32_t> a,
+                        std::span<const std::int32_t> b, int max_violations,
                         std::int32_t max_deficit) noexcept {
   int violations = 0;
   std::int32_t deficit = 0;
@@ -39,15 +39,45 @@ RobustReidResult RobustReidentifier::infer(
   // Gather candidates per pivot with the tolerant test; a candidate set
   // that explodes carries no information, so bound it.
   constexpr std::size_t kMaxCandidatesPerPivot = 64;
+  const poi::TileAggregates& tiles = db_->tile_aggregates();
+  const std::int64_t released_total = poi::total(released);
+  // Exact tolerant prune. Each probed type t with type_bound(t) <
+  // released[t] is a guaranteed violation with deficit at least
+  // released[t] - bound (the tile bound dominates F(p, 2r)[t]); distinct
+  // types accumulate. Independently, the deficit is at least
+  // total(released) - total_bound. When either already exceeds the
+  // configured tolerance, the tolerant test below must fail. Probing more
+  // types than the exact attacks do (kPruneTypes = 6) pays off here
+  // because a single rare-type shortfall is tolerated, not disqualifying.
+  constexpr std::size_t kPruneTypes = 6;
+  const std::vector<poi::TypeId> rare =
+      rare_present_types(*db_, released, kPruneTypes);
+  const auto pruned = [&](const poi::TileAggregates::Window& win) {
+    int violations = 0;
+    std::int64_t deficit = 0;
+    for (const poi::TypeId t : rare) {
+      const std::int32_t bound = win.type_bound(t);
+      if (bound < released[t]) {
+        ++violations;
+        deficit += released[t] - bound;
+      }
+    }
+    if (violations > config_.max_violations || deficit > config_.max_deficit) {
+      return true;
+    }
+    return win.total_bound() + config_.max_deficit < released_total;
+  };
+  poi::FrequencyVector around;  // reused across every candidate
   std::vector<geo::Point> votes;
   for (const poi::TypeId pivot : pivots) {
     std::vector<geo::Point> candidates;
     for (const poi::PoiId id : db_->pois_of_type(pivot)) {
-      const poi::FrequencyVector around =
-          db_->freq(db_->poi(id).pos, 2.0 * r);
+      const geo::Point pos = db_->poi(id).pos;
+      if (pruned(tiles.window(pos, 2.0 * r))) continue;
+      db_->freq_into(pos, 2.0 * r, around);
       if (dominates_tolerant(around, released, config_.max_violations,
                              config_.max_deficit)) {
-        candidates.push_back(db_->poi(id).pos);
+        candidates.push_back(pos);
         if (candidates.size() > kMaxCandidatesPerPivot) break;
       }
     }

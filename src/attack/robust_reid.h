@@ -42,9 +42,10 @@ struct RobustReidResult {
 };
 
 /// Tolerant domination: a >= b except for at most `max_violations`
-/// dimensions whose total deficit is at most `max_deficit`.
-bool dominates_tolerant(const poi::FrequencyVector& a,
-                        const poi::FrequencyVector& b, int max_violations,
+/// dimensions whose total deficit is at most `max_deficit`. Span-based so
+/// it runs directly over FreqArena rows.
+bool dominates_tolerant(std::span<const std::int32_t> a,
+                        std::span<const std::int32_t> b, int max_violations,
                         std::int32_t max_deficit) noexcept;
 
 class RobustReidentifier {

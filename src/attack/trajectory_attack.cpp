@@ -8,7 +8,7 @@
 namespace poiprivacy::attack {
 
 std::vector<double> TrajectoryAttack::make_features(
-    const poi::FrequencyVector& f1, const poi::FrequencyVector& f2,
+    std::span<const std::int32_t> f1, std::span<const std::int32_t> f2,
     traj::TimeSec t1, traj::TimeSec t2) const {
   std::vector<double> row;
   row.reserve(2 + 24 + 7);
@@ -29,9 +29,10 @@ TrajectoryAttack::TrajectoryAttack(const poi::PoiDatabase& db,
   ml::Matrix x;
   std::vector<double> y;
   y.reserve(history.size());
+  poi::FrequencyVector f1, f2;  // reused across the whole corpus
   for (const traj::ReleasePair& pair : history) {
-    const poi::FrequencyVector f1 = db.freq(pair.first, r);
-    const poi::FrequencyVector f2 = db.freq(pair.second, r);
+    db.freq_into(pair.first, r, f1);
+    db.freq_into(pair.second, r, f2);
     x.push_row(make_features(f1, f2, pair.first_time, pair.second_time));
     y.push_back(pair.distance_km());
   }

@@ -60,8 +60,8 @@ class TrajectoryAttack {
   double tolerance_km() const noexcept { return tolerance_; }
 
  private:
-  std::vector<double> make_features(const poi::FrequencyVector& f1,
-                                    const poi::FrequencyVector& f2,
+  std::vector<double> make_features(std::span<const std::int32_t> f1,
+                                    std::span<const std::int32_t> f2,
                                     traj::TimeSec t1,
                                     traj::TimeSec t2) const;
 

@@ -41,35 +41,45 @@ std::vector<double> DpDefense::noised_mean(geo::Point location, double r,
                                            common::Rng& rng) const {
   const std::vector<geo::Point> dummies =
       cloaker_->dummy_locations(location, config_.k, rng);
-  std::vector<poi::FrequencyVector> vectors;
-  vectors.reserve(dummies.size());
-  for (const geo::Point d : dummies) vectors.push_back(db_->freq(d, r));
+  // Per-thread arena: the k dummy aggregates land in one reusable buffer,
+  // so steady-state releases allocate nothing for the frequency queries.
+  static thread_local poi::FreqArena arena;
+  db_->freq_batch(dummies, r, arena);
 
   const std::size_t m = db_->num_types();
   const double k = static_cast<double>(dummies.size());
+  // Row-major accumulation streams each arena row once. Per type, the
+  // additions still happen in ascending dummy order, so the floating-point
+  // sums (and hence the noise draws below) are bit-identical to the old
+  // column-major loop.
+  std::vector<double> sum(m, 0.0);
+  std::vector<double> sensitivity(m, 0.0);  // Delta_i = max_d F_d[i]
+  for (std::size_t d = 0; d < arena.rows(); ++d) {
+    const std::span<const std::int32_t> row = arena.row(d);
+    for (std::size_t i = 0; i < m; ++i) {
+      sum[i] += row[i];
+      sensitivity[i] =
+          std::max(sensitivity[i], static_cast<double>(row[i]));
+    }
+  }
+
   std::vector<double> mean(m, 0.0);
   const dp::PrivacyParams params{config_.epsilon, config_.delta};
   for (std::size_t i = 0; i < m; ++i) {
-    double sum = 0.0;
-    double sensitivity = 0.0;  // Delta_i = max_d F_d[i]
-    for (const poi::FrequencyVector& f : vectors) {
-      sum += f[i];
-      sensitivity = std::max(sensitivity, static_cast<double>(f[i]));
-    }
-    double noised = sum;
-    if (sensitivity > 0.0) {
+    double noised = sum[i];
+    if (sensitivity[i] > 0.0) {
       switch (config_.noise) {
         case DpNoiseKind::kGaussian: {
           const double sigma =
-              dp::GaussianMechanism::calibrated_sigma(params, sensitivity);
-          noised = sum + rng.normal(0.0, sigma);
+              dp::GaussianMechanism::calibrated_sigma(params, sensitivity[i]);
+          noised = sum[i] + rng.normal(0.0, sigma);
           break;
         }
         case DpNoiseKind::kGeometric: {
           const dp::GeometricMechanism mech(
-              config_.epsilon, static_cast<std::int64_t>(sensitivity));
+              config_.epsilon, static_cast<std::int64_t>(sensitivity[i]));
           noised = static_cast<double>(
-              mech.perturb(static_cast<std::int64_t>(std::llround(sum)),
+              mech.perturb(static_cast<std::int64_t>(std::llround(sum[i])),
                            rng));
           break;
         }

@@ -71,6 +71,13 @@ struct PoiDatabase::AnchorCache {
   }
 };
 
+// Lazily built tile aggregates; the once_flag lives on the heap so the
+// database stays movable.
+struct PoiDatabase::TileHolder {
+  std::once_flag once;
+  std::unique_ptr<TileAggregates> tiles;
+};
+
 namespace {
 
 std::vector<geo::Point> positions_of(const std::vector<Poi>& pois) {
@@ -89,7 +96,8 @@ PoiDatabase::PoiDatabase(std::string city_name, std::vector<Poi> pois,
       types_(std::move(types)),
       bounds_(bounds),
       index_(positions_of(pois_), bounds),
-      anchor_cache_(std::make_unique<AnchorCache>()) {
+      anchor_cache_(std::make_unique<AnchorCache>()),
+      tile_holder_(std::make_unique<TileHolder>()) {
   city_freq_.assign(types_.size(), 0);
   by_type_.resize(types_.size());
   for (PoiId i = 0; i < pois_.size(); ++i) {
@@ -159,12 +167,38 @@ AnchorCacheStats PoiDatabase::anchor_cache_stats() const noexcept {
 }
 
 FrequencyVector PoiDatabase::freq(geo::Point center, double radius) const {
-  FrequencyVector f(types_.size(), 0);
-  index_.for_each_in_disk(center, radius,
-                          [this, &f](std::uint32_t id, geo::Point) {
-                            ++f[pois_[id].type];
-                          });
+  FrequencyVector f;
+  freq_into(center, radius, f);
   return f;
+}
+
+void PoiDatabase::freq_into(geo::Point center, double radius,
+                            FrequencyVector& out) const {
+  out.assign(types_.size(), 0);
+  index_.for_each_in_disk(center, radius,
+                          [this, &out](std::uint32_t id, geo::Point) {
+                            ++out[pois_[id].type];
+                          });
+}
+
+void PoiDatabase::freq_batch(std::span<const geo::Point> centers, double radius,
+                             FreqArena& arena) const {
+  arena.reset(centers.size(), types_.size());
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const std::span<std::int32_t> row = arena.row(i);
+    index_.for_each_in_disk(centers[i], radius,
+                            [this, row](std::uint32_t id, geo::Point) {
+                              ++row[pois_[id].type];
+                            });
+  }
+}
+
+const TileAggregates& PoiDatabase::tile_aggregates() const {
+  std::call_once(tile_holder_->once, [this] {
+    tile_holder_->tiles =
+        std::make_unique<TileAggregates>(pois_, types_.size(), bounds_);
+  });
+  return *tile_holder_->tiles;
 }
 
 std::vector<TypeId> PoiDatabase::types_with_city_freq_at_most(

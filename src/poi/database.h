@@ -10,11 +10,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "poi/frequency.h"
 #include "poi/poi.h"
+#include "poi/tile_aggregates.h"
 #include "spatial/grid_index.h"
 
 namespace poiprivacy::poi {
@@ -43,7 +45,26 @@ class PoiDatabase {
   std::vector<PoiId> query(geo::Point center, double radius) const;
 
   /// Freq(l, r): the type frequency vector within `radius` km of `center`.
+  /// Convenience wrapper over freq_into() that allocates the result.
   FrequencyVector freq(geo::Point center, double radius) const;
+
+  /// Freq(l, r) into a caller-owned vector: `out` is resized/zeroed and
+  /// filled in place, so a reused buffer makes repeated aggregate queries
+  /// allocation-free in steady state. This is the single implementation
+  /// every frequency query bottoms out in.
+  void freq_into(geo::Point center, double radius, FrequencyVector& out) const;
+
+  /// Freq for a batch of centers at one radius, into an arena row per
+  /// center (row i corresponds to centers[i]). The arena's buffer is
+  /// reused across calls, so a long-lived per-thread arena makes whole
+  /// scan loops allocation-free.
+  void freq_batch(std::span<const geo::Point> centers, double radius,
+                  FreqArena& arena) const;
+
+  /// Per-type tile count upper bounds for candidate pruning (built lazily
+  /// on first use, then cached for the database's lifetime; thread-safe).
+  /// See poi/tile_aggregates.h for the envelope invariant.
+  const TileAggregates& tile_aggregates() const;
 
   /// Freq(poi(id).pos, radius) through a sharded, read-mostly cache. The
   /// attacks' dominance pruning probes the same anchor POIs at the same
@@ -82,6 +103,7 @@ class PoiDatabase {
 
  private:
   struct AnchorCache;
+  struct TileHolder;
 
   std::string city_name_;
   std::vector<Poi> pois_;
@@ -94,6 +116,9 @@ class PoiDatabase {
   // Heap-allocated so the database stays movable despite the shard
   // mutexes; the pointee is mutated from const methods (it is a cache).
   std::unique_ptr<AnchorCache> anchor_cache_;
+  // Same pattern for the lazily built tile aggregates (std::once_flag is
+  // not movable either).
+  std::unique_ptr<TileHolder> tile_holder_;
 };
 
 }  // namespace poiprivacy::poi

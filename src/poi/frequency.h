@@ -1,5 +1,14 @@
 // POI type frequency vectors — the aggregate that users release to LBS
 // applications and that the attacks/defenses operate on.
+//
+// The free functions below are the frequency *kernel layer*: branch-light
+// loops over contiguous int32 rows that the compiler auto-vectorizes, and
+// that every pipeline (re-identification, fingerprinting, the DP defense,
+// the serving layer) bottoms out in. They accept spans so the same code
+// path serves owned FrequencyVectors and rows of a FreqArena. The original
+// scalar loops are kept verbatim in scalar_ref:: as the reference oracle —
+// tests/kernel_property_test.cpp pits every kernel against its oracle on
+// seeded random inputs.
 #pragma once
 
 #include <cstdint>
@@ -14,30 +23,90 @@ namespace poiprivacy::poi {
 /// Indexed by TypeId; length is the number of types in the city.
 using FrequencyVector = std::vector<std::int32_t>;
 
+/// a - b elementwise into `out` (all three sizes must match; `out` may
+/// alias `a` or `b`).
+void diff_into(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+               std::span<std::int32_t> out) noexcept;
+
 /// a - b elementwise (sizes must match).
 FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b);
 
 /// Sum of |a_i - b_i|.
-std::int64_t l1_distance(const FrequencyVector& a, const FrequencyVector& b);
+std::int64_t l1_distance(std::span<const std::int32_t> a,
+                         std::span<const std::int32_t> b) noexcept;
 
 /// True iff a_i >= b_i for every i. This is the covering test at the heart
 /// of the region re-identification attack: if p lies within r of l then
 /// F(p, 2r) dominates F(l, r) componentwise.
-bool dominates(const FrequencyVector& a, const FrequencyVector& b) noexcept;
+bool dominates(std::span<const std::int32_t> a,
+               std::span<const std::int32_t> b) noexcept;
+
+/// dominates() with one branch per 64-lane block instead of none: the
+/// same result, but returns as soon as a block contains a violation.
+/// Prefer it where most rows fail the test (the fingerprint scan, the
+/// candidate-pruning loops); prefer the straight-line dominates() where
+/// rows usually pass and the early branch is pure overhead.
+bool dominates_early_exit(std::span<const std::int32_t> a,
+                          std::span<const std::int32_t> b) noexcept;
 
 /// Total number of POIs counted.
-std::int64_t total(const FrequencyVector& f) noexcept;
+std::int64_t total(std::span<const std::int32_t> f) noexcept;
 
 /// Type ids of the K largest entries (ties broken by smaller id), only
 /// types with positive frequency. May return fewer than K.
-std::vector<TypeId> top_k_types(const FrequencyVector& f, std::size_t k);
+std::vector<TypeId> top_k_types(std::span<const std::int32_t> f,
+                                std::size_t k);
 
 /// Jaccard index |A ∩ B| / |A ∪ B| of two type sets; 1.0 if both empty.
+/// Duplicates in the inputs are ignored (set semantics).
 double jaccard(std::span<const TypeId> a, std::span<const TypeId> b);
 
 /// Top-K Jaccard utility between an original and a protected vector — the
 /// paper's utility metric for the defense mechanisms (Section VI-A).
+double top_k_jaccard(std::span<const std::int32_t> original,
+                     std::span<const std::int32_t> protected_vec,
+                     std::size_t k);
+
+/// Reusable SoA count matrix: one contiguous int32 buffer, one row per
+/// query. reset() reuses the previous allocation whenever the new batch
+/// fits, so a long-lived (e.g. per-thread) arena makes batched aggregate
+/// queries allocation-free in steady state. Rows are contiguous, so they
+/// feed the span kernels above directly.
+class FreqArena {
+ public:
+  /// Resizes to rows x row_len and zero-fills; keeps capacity.
+  void reset(std::size_t rows, std::size_t row_len);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t row_len() const noexcept { return row_len_; }
+
+  std::span<std::int32_t> row(std::size_t i) noexcept {
+    return {data_.data() + i * row_len_, row_len_};
+  }
+  std::span<const std::int32_t> row(std::size_t i) const noexcept {
+    return {data_.data() + i * row_len_, row_len_};
+  }
+
+ private:
+  std::vector<std::int32_t> data_;
+  std::size_t rows_ = 0;
+  std::size_t row_len_ = 0;
+};
+
+/// The pre-kernel scalar implementations, kept as the reference oracle
+/// for the vectorized kernels (property tests compare the two on random
+/// inputs). Not for production call sites.
+namespace scalar_ref {
+
+FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b);
+std::int64_t l1_distance(const FrequencyVector& a, const FrequencyVector& b);
+bool dominates(const FrequencyVector& a, const FrequencyVector& b) noexcept;
+std::int64_t total(const FrequencyVector& f) noexcept;
+std::vector<TypeId> top_k_types(const FrequencyVector& f, std::size_t k);
+double jaccard(std::span<const TypeId> a, std::span<const TypeId> b);
 double top_k_jaccard(const FrequencyVector& original,
                      const FrequencyVector& protected_vec, std::size_t k);
+
+}  // namespace scalar_ref
 
 }  // namespace poiprivacy::poi

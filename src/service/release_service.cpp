@@ -173,12 +173,19 @@ CloakAggregate ReleaseService::compute_aggregate(
   aggregate.k = dummies.size();
   aggregate.sum.assign(m, 0.0);
   aggregate.sensitivity.assign(m, 0.0);
-  for (const geo::Point d : dummies) {
-    const poi::FrequencyVector f = db_->freq(d, key.radius);
+  // Per-thread arena (compute_aggregate runs on pool workers in Phase D):
+  // the k dummy aggregates land in one reusable buffer, so steady-state
+  // batches allocate nothing for the frequency queries. The per-type
+  // additions keep their ascending-dummy order, so the sums match the old
+  // vector-at-a-time loop bit-for-bit.
+  static thread_local poi::FreqArena arena;
+  db_->freq_batch(dummies, key.radius, arena);
+  for (std::size_t d = 0; d < arena.rows(); ++d) {
+    const std::span<const std::int32_t> row = arena.row(d);
     for (std::size_t i = 0; i < m; ++i) {
-      aggregate.sum[i] += f[i];
+      aggregate.sum[i] += row[i];
       aggregate.sensitivity[i] =
-          std::max(aggregate.sensitivity[i], static_cast<double>(f[i]));
+          std::max(aggregate.sensitivity[i], static_cast<double>(row[i]));
     }
   }
   return aggregate;

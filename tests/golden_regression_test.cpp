@@ -75,8 +75,13 @@ TEST(GoldenRegression, Fig05BaselineAndKCloakAttack) {
   EXPECT_EQ(base.empty_releases, 0u);
   EXPECT_EQ(base.unique, 23u);
   EXPECT_EQ(base.correct, 23u);
-  EXPECT_EQ(base.cache_hits, 84u);
-  EXPECT_EQ(base.cache_misses, 412u);
+  // Rare-type tile-envelope pruning rejects most candidates before they
+  // reach the anchor cache, so far fewer lookups happen than under the
+  // pre-pruning pinned values (84 hits / 412 misses). The attack outcomes
+  // above are unchanged — pruning is exact, and the adaptive gate is a
+  // deterministic function of the candidate sequence.
+  EXPECT_EQ(base.cache_hits, 16u);
+  EXPECT_EQ(base.cache_misses, 203u);
   EXPECT_TRUE(base.counters_consistent());
 
   common::Rng pop_rng(kSeed + 101);

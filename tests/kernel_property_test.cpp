@@ -1,0 +1,262 @@
+// Property tests for the batched frequency-kernel engine:
+//
+//   * every vectorized kernel (dominates, dominates_early_exit,
+//     l1_distance, diff_into, total, top_k_jaccard) against its scalar
+//     reference oracle on 200 seeded random vector pairs, including the
+//     edge shapes the kernels special-case: empty vectors, length 1, odd
+//     lengths, all-zero rows, and saturating INT32_MAX counts;
+//   * the allocation-free aggregate paths (freq_into, freq_batch) against
+//     the canonical freq();
+//   * the TileAggregates pruning invariant — the tile envelope must
+//     dominate any contained disk — and the end-to-end exactness of the
+//     pruned re-identification loop against an unpruned brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "attack/region_reid.h"
+#include "attack/robust_reid.h"
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "poi/frequency.h"
+#include "poi/tile_aggregates.h"
+
+namespace poiprivacy {
+namespace {
+
+using poi::FrequencyVector;
+
+constexpr std::int32_t kSat = std::numeric_limits<std::int32_t>::max();
+
+/// The edge-shape lengths every random trial cycles through: empty,
+/// length 1, odd lengths, vector-register remainders, and the real
+/// per-city type counts (Beijing 177, NYC 272).
+constexpr std::size_t kLengths[] = {0, 1, 2, 3, 7, 15, 16, 17,
+                                    40, 63, 64, 65, 100, 177, 272, 301};
+
+/// Draws a pair of same-length vectors for trial `t`. Mixes four regimes:
+/// small uniform counts, near-equal pairs (so dominance is plausible and
+/// both branches of the kernels are exercised), all-zero rows, and rows
+/// salted with saturating counts.
+std::pair<FrequencyVector, FrequencyVector> random_pair(common::Rng& rng,
+                                                        int t) {
+  const std::size_t n = kLengths[static_cast<std::size_t>(t) %
+                                 std::size(kLengths)];
+  FrequencyVector a(n), b(n);
+  const int regime = t % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (regime) {
+      case 0:  // independent small counts
+        a[i] = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+        b[i] = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+        break;
+      case 1: {  // b near a: dominance often holds
+        a[i] = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+        b[i] = std::max<std::int32_t>(
+            0, a[i] + static_cast<std::int32_t>(rng.uniform_int(-1, 0)));
+        break;
+      }
+      case 2:  // all-zero rows
+        a[i] = 0;
+        b[i] = 0;
+        break;
+      default:  // saturating counts sprinkled in
+        a[i] = rng.bernoulli(0.2) ? kSat
+                                  : static_cast<std::int32_t>(
+                                        rng.uniform_int(0, 100));
+        b[i] = rng.bernoulli(0.2) ? kSat
+                                  : static_cast<std::int32_t>(
+                                        rng.uniform_int(0, 100));
+        break;
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+TEST(KernelOracle, MatchesScalarReferenceOn200SeededPairs) {
+  common::Rng rng(20260806);
+  for (int t = 0; t < 200; ++t) {
+    const auto [a, b] = random_pair(rng, t);
+    SCOPED_TRACE("trial " + std::to_string(t) + " len " +
+                 std::to_string(a.size()));
+
+    EXPECT_EQ(poi::dominates(a, b), poi::scalar_ref::dominates(a, b));
+    EXPECT_EQ(poi::dominates_early_exit(a, b),
+              poi::scalar_ref::dominates(a, b));
+    EXPECT_EQ(poi::l1_distance(a, b), poi::scalar_ref::l1_distance(a, b));
+    EXPECT_EQ(poi::total(a), poi::scalar_ref::total(a));
+    EXPECT_EQ(poi::diff(a, b), poi::scalar_ref::diff(a, b));
+
+    FrequencyVector out(a.size(), -1);
+    poi::diff_into(a, b, out);
+    EXPECT_EQ(out, poi::scalar_ref::diff(a, b));
+
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{10}, a.size() + 3}) {
+      EXPECT_EQ(poi::top_k_types(a, k), poi::scalar_ref::top_k_types(a, k));
+      EXPECT_DOUBLE_EQ(poi::top_k_jaccard(a, b, k),
+                       poi::scalar_ref::top_k_jaccard(a, b, k));
+    }
+  }
+}
+
+TEST(KernelOracle, DominatesReflexiveAndEdgeCases) {
+  const FrequencyVector empty;
+  EXPECT_TRUE(poi::dominates(empty, empty));
+  EXPECT_TRUE(poi::dominates_early_exit(empty, empty));
+  EXPECT_EQ(poi::l1_distance(empty, empty), 0);
+  EXPECT_EQ(poi::total(empty), 0);
+  EXPECT_DOUBLE_EQ(poi::top_k_jaccard(empty, empty, 10), 1.0);
+
+  const FrequencyVector one_lo{3}, one_hi{4};
+  EXPECT_TRUE(poi::dominates(one_hi, one_lo));
+  EXPECT_FALSE(poi::dominates(one_lo, one_hi));
+  EXPECT_FALSE(poi::dominates_early_exit(one_lo, one_hi));
+  EXPECT_EQ(poi::l1_distance(one_lo, one_hi), 1);
+
+  // Saturating counts: |INT32_MAX - 0| must not overflow the accumulator.
+  const FrequencyVector sat(100, kSat), zero(100, 0);
+  EXPECT_EQ(poi::l1_distance(sat, zero), 100ll * kSat);
+  EXPECT_EQ(poi::total(sat), 100ll * kSat);
+  EXPECT_TRUE(poi::dominates(sat, zero));
+  EXPECT_FALSE(poi::dominates(zero, sat));
+
+  // A single violation in the last lane must defeat both variants.
+  FrequencyVector a(177, 9), b(177, 9);
+  b.back() = 10;
+  EXPECT_FALSE(poi::dominates(a, b));
+  EXPECT_FALSE(poi::dominates_early_exit(a, b));
+  b.back() = 9;
+  EXPECT_TRUE(poi::dominates(a, b));
+  EXPECT_TRUE(poi::dominates_early_exit(a, b));
+}
+
+TEST(KernelOracle, DiffIntoAllowsAliasing) {
+  FrequencyVector a{5, 3, 8, 1}, b{1, 1, 9, 1};
+  const FrequencyVector expect = poi::scalar_ref::diff(a, b);
+  poi::diff_into(a, b, a);  // out aliases a
+  EXPECT_EQ(a, expect);
+}
+
+TEST(FreqArena, ResetReusesCapacityAndZeroFills) {
+  poi::FreqArena arena;
+  arena.reset(4, 100);
+  EXPECT_EQ(arena.rows(), 4u);
+  EXPECT_EQ(arena.row_len(), 100u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (const std::int32_t v : arena.row(i)) EXPECT_EQ(v, 0);
+    arena.row(i)[0] = static_cast<std::int32_t>(i) + 1;
+  }
+  // Shrinking then regrowing must re-zero everything.
+  arena.reset(2, 50);
+  EXPECT_EQ(arena.row(1).size(), 50u);
+  arena.reset(4, 100);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (const std::int32_t v : arena.row(i)) EXPECT_EQ(v, 0);
+  }
+}
+
+class SeededKernelCity : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  poi::City city() const {
+    return poi::generate_city(poi::test_preset(), GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededKernelCity,
+                         ::testing::Values(1u, 7u, 21u, 42u));
+
+TEST_P(SeededKernelCity, FreqIntoAndFreqBatchMatchFreq) {
+  const poi::City c = city();
+  common::Rng rng(GetParam() * 131 + 3);
+  std::vector<geo::Point> centers;
+  for (int i = 0; i < 12; ++i) {
+    centers.push_back({rng.uniform(-1.0, 9.0), rng.uniform(-1.0, 9.0)});
+  }
+  const double r = rng.uniform(0.2, 2.0);
+
+  poi::FreqArena arena;
+  c.db.freq_batch(centers, r, arena);
+  ASSERT_EQ(arena.rows(), centers.size());
+  ASSERT_EQ(arena.row_len(), c.db.num_types());
+
+  FrequencyVector reused;
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const FrequencyVector direct = c.db.freq(centers[i], r);
+    c.db.freq_into(centers[i], r, reused);  // reused across iterations
+    EXPECT_EQ(reused, direct);
+    EXPECT_TRUE(std::equal(direct.begin(), direct.end(),
+                           arena.row(i).begin(), arena.row(i).end()));
+  }
+}
+
+// The pruning invariant: the tile envelope dominates any contained disk.
+TEST_P(SeededKernelCity, TileEnvelopeDominatesAnyContainedDisk) {
+  const poi::City c = city();
+  const poi::TileAggregates& tiles = c.db.tile_aggregates();
+  common::Rng rng(GetParam() * 977 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Probes include points outside the bounds (clamped binning must stay
+    // sound there too).
+    const geo::Point p{rng.uniform(-2.0, 10.0), rng.uniform(-2.0, 10.0)};
+    const double r = rng.uniform(0.1, 3.0);
+    const FrequencyVector f = c.db.freq(p, r);
+    EXPECT_GE(tiles.total_upper_bound(p, r), poi::total(f));
+    for (poi::TypeId t = 0; t < f.size(); ++t) {
+      ASSERT_GE(tiles.type_upper_bound(p, r, t), f[t])
+          << "probe (" << p.x << ", " << p.y << ") r=" << r << " type=" << t;
+    }
+  }
+}
+
+// End-to-end exactness: the pruned re-identification loop must produce
+// exactly the candidates of the unpruned brute force.
+TEST_P(SeededKernelCity, PrunedReidMatchesBruteForce) {
+  const poi::City c = city();
+  const attack::RegionReidentifier reid(c.db);
+  common::Rng rng(GetParam() * 53 + 17);
+  for (int trial = 0; trial < 15; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.4, 1.6);
+    const FrequencyVector released = c.db.freq(l, r);
+    const attack::ReidResult result = reid.infer(released, r);
+    if (!result.pivot_type) continue;
+
+    std::vector<poi::PoiId> brute;
+    for (const poi::PoiId id : c.db.pois_of_type(*result.pivot_type)) {
+      if (poi::scalar_ref::dominates(c.db.freq(c.db.poi(id).pos, 2.0 * r),
+                                     released)) {
+        brute.push_back(id);
+      }
+    }
+    EXPECT_EQ(result.candidates, brute);
+  }
+}
+
+// The tolerant-prune lemma the robust attack relies on: when even the
+// envelope plus the allowed deficit cannot reach the released total, the
+// tolerant dominance test must fail.
+TEST_P(SeededKernelCity, TolerantPruneBoundIsSound) {
+  const poi::City c = city();
+  const poi::TileAggregates& tiles = c.db.tile_aggregates();
+  common::Rng rng(GetParam() * 211 + 29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const geo::Point p{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.4, 1.6);
+    const FrequencyVector released = c.db.freq(l, r);
+    const std::int32_t max_deficit = 3;
+    if (tiles.total_upper_bound(p, 2.0 * r) + max_deficit <
+        poi::total(released)) {
+      EXPECT_FALSE(attack::dominates_tolerant(c.db.freq(p, 2.0 * r), released,
+                                              /*max_violations=*/released.size(),
+                                              max_deficit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poiprivacy

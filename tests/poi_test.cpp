@@ -38,9 +38,9 @@ TEST(Frequency, DiffAndL1) {
 }
 
 TEST(Frequency, Dominates) {
-  EXPECT_TRUE(dominates({3, 1, 2}, {3, 0, 2}));
-  EXPECT_TRUE(dominates({3, 1, 2}, {3, 1, 2}));
-  EXPECT_FALSE(dominates({3, 0, 2}, {3, 1, 2}));
+  EXPECT_TRUE(dominates(FrequencyVector{3, 1, 2}, FrequencyVector{3, 0, 2}));
+  EXPECT_TRUE(dominates(FrequencyVector{3, 1, 2}, FrequencyVector{3, 1, 2}));
+  EXPECT_FALSE(dominates(FrequencyVector{3, 0, 2}, FrequencyVector{3, 1, 2}));
 }
 
 TEST(Frequency, TopKTypesOrderedAndPositiveOnly) {
