@@ -1,115 +1,7 @@
-// Ablation (DESIGN.md): the sanitization-recovery classifier family —
-// the paper's RBF-SVM vs linear-kernel SVM vs logistic regression, on
-// the same rare-type prediction task (Beijing, sampled types).
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/stats.h"
-#include "defense/sanitizer.h"
-#include "ml/logistic.h"
-#include "ml/svm.h"
-
-using namespace poiprivacy;
-
-namespace {
-
-struct Task {
-  ml::Matrix x_train;
-  ml::Matrix x_valid;
-  std::vector<std::vector<int>> train_labels;  ///< per sanitized type
-  std::vector<std::vector<int>> valid_labels;
-};
-
-Task build_task(const poi::PoiDatabase& db,
-                std::span<const poi::TypeId> types, double r,
-                std::size_t n_train, std::size_t n_valid, common::Rng& rng) {
-  std::vector<poi::TypeId> visible;
-  std::vector<bool> sanitized(db.num_types(), false);
-  for (const poi::TypeId t : types) sanitized[t] = true;
-  for (poi::TypeId t = 0; t < db.num_types(); ++t) {
-    if (!sanitized[t]) visible.push_back(t);
-  }
-  const auto sample = [&](std::size_t n, ml::Matrix& x,
-                          std::vector<std::vector<int>>& labels) {
-    labels.assign(types.size(), {});
-    for (std::size_t i = 0; i < n; ++i) {
-      const geo::Point l{rng.uniform(db.bounds().min_x, db.bounds().max_x),
-                         rng.uniform(db.bounds().min_y, db.bounds().max_y)};
-      const poi::FrequencyVector f = db.freq(l, r);
-      std::vector<double> row;
-      row.reserve(visible.size());
-      for (const poi::TypeId t : visible) row.push_back(f[t]);
-      x.push_row(row);
-      for (std::size_t m = 0; m < types.size(); ++m) {
-        labels[m].push_back(f[types[m]]);
-      }
-    }
-  };
-  Task task;
-  sample(n_train, task.x_train, task.train_labels);
-  sample(n_valid, task.x_valid, task.valid_labels);
-  ml::StandardScaler scaler;
-  task.x_train = scaler.fit_transform(task.x_train);
-  task.x_valid = scaler.transform(task.x_valid);
-  return task;
-}
-
-template <typename Model>
-double mean_accuracy(const Task& task, common::Rng& rng,
-                     const Model& prototype) {
-  double acc = 0.0;
-  for (std::size_t m = 0; m < task.train_labels.size(); ++m) {
-    Model model = prototype;
-    model.train(task.x_train, task.train_labels[m], rng);
-    acc += ml::accuracy(task.valid_labels[m], model.predict(task.x_valid));
-  }
-  return acc / static_cast<double>(task.train_labels.size());
-}
-
-}  // namespace
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/ablation_recovery_models.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"types", "train"});
-  const auto num_types = static_cast<std::size_t>(
-      options.flags.get("types", static_cast<std::int64_t>(12)));
-  const auto n_train = static_cast<std::size_t>(options.flags.get(
-      "train", static_cast<std::int64_t>(options.full ? 1500 : 300)));
-  options.print_context(
-      "Ablation — recovery classifier families (Beijing)");
-  const eval::Workbench workbench(options.workbench_config());
-  const poi::PoiDatabase& db = workbench.beijing().db;
-  const defense::Sanitizer sanitizer(db, 10);
-
-  common::Rng pick_rng(options.seed + 7);
-  std::vector<poi::TypeId> types = sanitizer.sanitized_types();
-  if (types.size() > num_types) {
-    const auto idx = pick_rng.sample_indices(types.size(), num_types);
-    std::vector<poi::TypeId> chosen;
-    for (const std::size_t i : idx) chosen.push_back(types[i]);
-    types = std::move(chosen);
-  }
-
-  eval::Table table({"r_km", "SVM-RBF (paper)", "SVM-linear", "logistic"});
-  for (const double r : {1.0, 2.0}) {
-    common::Rng rng(options.seed + static_cast<std::uint64_t>(r * 10));
-    const Task task = build_task(db, types, r, n_train, 150, rng);
-
-    ml::SvmConfig rbf;
-    ml::SvmConfig linear;
-    linear.kernel.kind = ml::KernelKind::kLinear;
-    table.add_row(
-        {common::fmt(r, 1),
-         common::fmt(mean_accuracy(task, rng, ml::SvmClassifier(rbf))),
-         common::fmt(mean_accuracy(task, rng, ml::SvmClassifier(linear))),
-         common::fmt(mean_accuracy(task, rng, ml::LogisticClassifier()))});
-  }
-  eval::print_section(std::cout,
-                      "mean validation accuracy over " +
-                          std::to_string(types.size()) + " sanitized types");
-  table.print(std::cout);
-  eval::print_note(std::cout,
-                   "the task is dominated by the zero class, so all "
-                   "families score high; the RBF kernel wins on the "
-                   "positive cases that matter for the attack");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("ablation_recovery_models", argc, argv);
 }

@@ -1,84 +1,20 @@
-// Shared plumbing for the figure-reproduction binaries: flag parsing with
-// uniform defaults and workbench construction.
-//
-// Every binary accepts:
-//   --seed N        master seed (default 42)
-//   --locations N   locations per dataset (default 250; paper uses 1000)
-//   --full          paper-scale sample sizes (slower)
-//   --threads N     evaluation threads (default hardware_concurrency;
-//                   1 restores the serial path; results are identical
-//                   for every value)
-//   --metrics[=F]   dump the obs metrics registry as JSON at exit —
-//                   to stderr, or to file F when given a value (no-op
-//                   in a -DPOIPRIVACY_NO_METRICS build)
-//   --help          print the known-flag list and exit
+// Compatibility shim: the shared bench plumbing moved to
+// src/eval/bench_options.h so the scenario registry, the poibench driver,
+// and the tests use the same parser. Scenario sources keep including this
+// header for the aliases plus the table/stats helpers every figure uses.
 #pragma once
 
-#include <cstdint>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/flags.h"
-#include "common/parallel.h"
 #include "common/stats.h"
-#include "eval/datasets.h"
+#include "eval/bench_options.h"
 #include "eval/table.h"
 
 namespace poiprivacy::bench {
 
-struct BenchOptions {
-  std::uint64_t seed = 42;
-  std::size_t locations = 250;
-  bool full = false;
-  std::size_t threads = 1;
-  common::Flags flags;
-
-  BenchOptions(int argc, const char* const* argv,
-               std::vector<std::string> extra_flags = {})
-      : flags(argc, argv, [&extra_flags] {
-          std::vector<std::string> known{"seed", "locations", "full",
-                                         common::Flags::kThreadsFlag,
-                                         common::Flags::kMetricsFlag};
-          known.insert(known.end(), extra_flags.begin(), extra_flags.end());
-          return known;
-        }()) {
-    if (flags.help_requested()) {
-      std::cout << flags.usage(argv[0]);
-      std::exit(0);
-    }
-    seed = static_cast<std::uint64_t>(
-        flags.get("seed", static_cast<std::int64_t>(42)));
-    full = flags.get("full", false);
-    locations = static_cast<std::size_t>(flags.get(
-        "locations", static_cast<std::int64_t>(full ? 1000 : 250)));
-    threads = flags.apply_threads_flag();
-    flags.apply_metrics_flag();
-  }
-
-  eval::WorkbenchConfig workbench_config() const {
-    eval::WorkbenchConfig config;
-    config.seed = seed;
-    config.locations_per_dataset = locations;
-    if (full) {
-      config.num_taxis = 400;
-      config.points_per_taxi = 80;
-      config.num_checkin_users = 400;
-      config.checkins_per_user = 60;
-    }
-    return config;
-  }
-
-  void print_context(const std::string& what) const {
-    std::cout << what << "\n";
-    std::cout << "   seed=" << seed << " locations=" << locations
-              << " threads=" << threads
-              << (full ? " (paper-scale --full run)" : " (reduced default run)")
-              << "\n";
-  }
-};
-
-inline const double kQueryRangesKm[] = {0.5, 1.0, 2.0, 4.0};
+using BenchOptions = eval::BenchOptions;
+using eval::kQueryRangesKm;
 
 }  // namespace poiprivacy::bench

@@ -1,69 +1,7 @@
-// Figure 2: validation accuracy of the SVM models that predict sanitized
-// (citywide count <= 10) POI type frequencies from the visible entries,
-// per city and query range. The paper reports means of 0.99+/-0.01 across
-// all sanitized types with 10,000 training samples.
-//
-// Default run trains models for a random subset of the sanitized types
-// with reduced sample counts; --full trains every type at a larger scale.
-#include <iostream>
-
-#include "attack/recovery.h"
-#include "bench_common.h"
-#include "common/stats.h"
-#include "defense/sanitizer.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/fig02_sanitize_accuracy.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"types", "train", "valid"});
-  const auto subset = static_cast<std::size_t>(options.flags.get(
-      "types", static_cast<std::int64_t>(options.full ? 1000 : 15)));
-  attack::RecoveryConfig config;
-  config.train_samples = static_cast<std::size_t>(options.flags.get(
-      "train", static_cast<std::int64_t>(options.full ? 2000 : 300)));
-  config.validation_samples = static_cast<std::size_t>(options.flags.get(
-      "valid", static_cast<std::int64_t>(options.full ? 500 : 120)));
-  config.samples_per_rare_poi = options.full ? 2 : 1;
-  options.print_context(
-      "Figure 2 — validation accuracy of the sanitization-recovery models");
-  eval::print_note(std::cout,
-                   "types/city=" + std::to_string(subset) +
-                       " train=" + std::to_string(config.train_samples) +
-                       " valid=" + std::to_string(config.validation_samples));
-  const eval::Workbench workbench(options.workbench_config());
-
-  for (const poi::City* city : {&workbench.beijing(), &workbench.nyc()}) {
-    const poi::PoiDatabase& db = city->db;
-    const defense::Sanitizer sanitizer(db, 10);
-    eval::print_section(std::cout, "Fig. 2 — " + db.city_name() + " (" +
-                                       std::to_string(
-                                           sanitizer.sanitized_types().size()) +
-                                       " sanitized types)");
-    eval::Table table({"r_km", "mean accuracy", "stddev", "min", "models"});
-    for (const double r : bench::kQueryRangesKm) {
-      common::Rng rng(options.seed + static_cast<std::uint64_t>(r * 10));
-      // Sample the evaluated types deterministically.
-      std::vector<poi::TypeId> types = sanitizer.sanitized_types();
-      if (types.size() > subset) {
-        common::Rng pick_rng(options.seed + 7);
-        const auto idx = pick_rng.sample_indices(types.size(), subset);
-        std::vector<poi::TypeId> chosen;
-        chosen.reserve(subset);
-        for (const std::size_t i : idx) chosen.push_back(types[i]);
-        types = std::move(chosen);
-      }
-      const attack::SanitizationRecovery recovery(db, types, r, config, rng);
-      const std::vector<double>& acc = recovery.validation_accuracies();
-      table.add_row({common::fmt(r, 1),
-                     common::fmt(recovery.mean_validation_accuracy()),
-                     common::fmt(common::stddev(acc)),
-                     common::fmt(common::min_of(acc)),
-                     std::to_string(acc.size())});
-    }
-    table.print(std::cout);
-  }
-  eval::print_note(std::cout,
-                   "paper: mean accuracies 0.990-0.998 across ranges, "
-                   "slightly lower at r=4 km");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("fig02_sanitize_accuracy", argc, argv);
 }

@@ -1,67 +1,7 @@
-// Figure 3: success rate of the region re-identification attack without
-// protection, against sanitized releases (all citywide count <= 10 types
-// zeroed), and against sanitized releases after SVM-based recovery.
-#include <iostream>
-
-#include "attack/recovery.h"
-#include "bench_common.h"
-#include "defense/sanitizer.h"
-#include "eval/runner.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/fig03_sanitization.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"train", "eval-locations"});
-  attack::RecoveryConfig config;
-  config.train_samples = static_cast<std::size_t>(options.flags.get(
-      "train", static_cast<std::int64_t>(options.full ? 1500 : 250)));
-  config.validation_samples = 50;
-  config.samples_per_rare_poi = 1;
-  const auto eval_locations = static_cast<std::size_t>(options.flags.get(
-      "eval-locations",
-      static_cast<std::int64_t>(options.full ? options.locations : 150)));
-  options.print_context(
-      "Figure 3 — sanitization vs the region re-identification attack "
-      "(and its learning-based recovery)");
-  const eval::Workbench workbench(options.workbench_config());
-
-  const eval::DatasetKind random_sets[] = {eval::DatasetKind::kBeijingRandom,
-                                           eval::DatasetKind::kNycRandom};
-  for (const eval::DatasetKind kind : random_sets) {
-    const poi::PoiDatabase& db = workbench.city_of(kind).db;
-    const defense::Sanitizer sanitizer(db, 10);
-    std::vector<geo::Point> locations = workbench.locations(kind);
-    if (locations.size() > eval_locations) locations.resize(eval_locations);
-
-    eval::print_section(std::cout, "Fig. 3 — " + db.city_name() + " (" +
-                                       std::to_string(
-                                           sanitizer.sanitized_types().size()) +
-                                       " types sanitized)");
-    eval::Table table(
-        {"r_km", "w/o protection", "sanitized", "recovered"});
-    for (const double r : bench::kQueryRangesKm) {
-      const eval::AttackStats base = eval::evaluate_attack(
-          db, locations, r, eval::identity_release(db));
-      const eval::AttackStats sanitized = eval::evaluate_attack(
-          db, locations, r, [&](geo::Point l, double radius) {
-            return sanitizer.sanitize(db.freq(l, radius));
-          });
-      common::Rng rng(options.seed + static_cast<std::uint64_t>(r * 10));
-      const attack::SanitizationRecovery recovery(
-          db, sanitizer.sanitized_types(), r, config, rng);
-      const eval::AttackStats recovered = eval::evaluate_attack(
-          db, locations, r, [&](geo::Point l, double radius) {
-            return recovery.recover(sanitizer.sanitize(db.freq(l, radius)));
-          });
-      table.add_row({common::fmt(r, 1), common::fmt(base.success_rate()),
-                     common::fmt(sanitized.success_rate()),
-                     common::fmt(recovered.success_rate())});
-    }
-    table.print(std::cout);
-  }
-  eval::print_note(std::cout,
-                   "paper: sanitization suppresses the attack (strongly at "
-                   "large r); recovery restores it to near-unprotected "
-                   "levels");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("fig03_sanitization", argc, argv);
 }

@@ -1,72 +1,7 @@
-// Figure 5: success rate of the baseline attack against adaptive-interval
-// spatial k-cloaking, k in {2..50}, with 10,000 uniformly distributed
-// users per city, on all four datasets and query ranges.
-#include <iostream>
-
-#include "bench_common.h"
-#include "cloak/kcloak.h"
-#include "defense/location_defenses.h"
-#include "eval/runner.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/fig05_kcloak.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"users"});
-  const auto num_users = static_cast<std::size_t>(
-      options.flags.get("users", static_cast<std::int64_t>(10000)));
-  options.print_context(
-      "Figure 5 — spatial k-cloaking vs the region re-identification "
-      "attack");
-  const eval::Workbench workbench(options.workbench_config());
-
-  const std::size_t ks[] = {2, 10, 20, 30, 40, 50};
-
-  // One user population per city, shared across datasets.
-  common::Rng bj_rng(options.seed + 101);
-  const cloak::AdaptiveIntervalCloaker bj_cloaker(
-      cloak::uniform_population(workbench.beijing().db.bounds(), num_users,
-                                bj_rng),
-      workbench.beijing().db.bounds());
-  common::Rng nyc_rng(options.seed + 102);
-  const cloak::AdaptiveIntervalCloaker nyc_cloaker(
-      cloak::uniform_population(workbench.nyc().db.bounds(), num_users,
-                                nyc_rng),
-      workbench.nyc().db.bounds());
-
-  for (const eval::DatasetKind kind : eval::kAllDatasets) {
-    const poi::PoiDatabase& db = workbench.city_of(kind).db;
-    const cloak::AdaptiveIntervalCloaker& cloaker =
-        (&workbench.city_of(kind) == &workbench.beijing()) ? bj_cloaker
-                                                           : nyc_cloaker;
-    eval::print_section(std::cout, std::string("Fig. 5 — ") +
-                                       eval::dataset_name(kind));
-    eval::Table table(
-        {"k", "r=0.5km", "r=1.0km", "r=2.0km", "r=4.0km"});
-    // k = 0 row: no protection baseline.
-    std::vector<std::string> base_row{"none"};
-    for (const double r : bench::kQueryRangesKm) {
-      const eval::AttackStats stats = eval::evaluate_attack(
-          db, workbench.locations(kind), r, eval::identity_release(db));
-      base_row.push_back(common::fmt(stats.success_rate()));
-    }
-    table.add_row(std::move(base_row));
-    for (const std::size_t k : ks) {
-      const defense::KCloakDefense defense(db, cloaker, k);
-      std::vector<std::string> row{std::to_string(k)};
-      for (const double r : bench::kQueryRangesKm) {
-        const eval::AttackStats stats = eval::evaluate_attack(
-            db, workbench.locations(kind), r,
-            [&defense](geo::Point l, double radius) {
-              return defense.release(l, radius);
-            });
-        row.push_back(common::fmt(stats.success_rate()));
-      }
-      table.add_row(std::move(row));
-    }
-    table.print(std::cout);
-  }
-  eval::print_note(std::cout,
-                   "paper: success falls with k but stays substantial even "
-                   "at k=50, more so for large query ranges");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("fig05_kcloak", argc, argv);
 }

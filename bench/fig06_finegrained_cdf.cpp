@@ -1,51 +1,7 @@
-// Figure 6: CDF of the fine-grained attack's search area (MAX_aux = 20)
-// over the four datasets and query ranges. Cao et al.'s baseline always
-// needs pi r^2; the paper reports that ~80% of cases need at most a
-// quarter of that.
-#include <iostream>
-
-#include "bench_common.h"
-#include "eval/runner.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/fig06_finegrained_cdf.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"max-aux"});
-  const auto max_aux = static_cast<std::size_t>(
-      options.flags.get("max-aux", static_cast<std::int64_t>(20)));
-  options.print_context(
-      "Figure 6 — CDF of the fine-grained attack's search area");
-  const eval::Workbench workbench(options.workbench_config());
-
-  attack::FineGrainedConfig config;
-  config.max_aux = max_aux;
-
-  for (const double r : bench::kQueryRangesKm) {
-    const double baseline_area = M_PI * r * r;
-    eval::print_section(
-        std::cout, "Fig. 6 — r = " + common::fmt(r, 1) +
-                       " km (Cao et al. baseline area = " +
-                       common::fmt(baseline_area, 2) + " km^2)");
-    eval::Table table({"dataset", "P[A<=1/16]", "P[A<=1/8]", "P[A<=1/4]",
-                       "P[A<=1/2]", "P[A<=1]", "mean km^2", "successes"});
-    for (const eval::DatasetKind kind : eval::kAllDatasets) {
-      const poi::PoiDatabase& db = workbench.city_of(kind).db;
-      const eval::FineGrainedStats stats = eval::evaluate_fine_grained(
-          db, workbench.locations(kind), r, config);
-      const std::vector<double> thresholds{
-          baseline_area / 16.0, baseline_area / 8.0, baseline_area / 4.0,
-          baseline_area / 2.0, baseline_area};
-      const auto cdf = common::empirical_cdf(stats.areas_km2, thresholds);
-      table.add_row({eval::dataset_name(kind), common::fmt(cdf[0].fraction),
-                     common::fmt(cdf[1].fraction), common::fmt(cdf[2].fraction),
-                     common::fmt(cdf[3].fraction), common::fmt(cdf[4].fraction),
-                     common::fmt(stats.mean_area(), 3),
-                     std::to_string(stats.successes)});
-    }
-    table.print(std::cout);
-  }
-  eval::print_note(std::cout,
-                   "paper: in ~80% of cases the search area is at most a "
-                   "quarter of pi r^2, improving with larger r");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("fig06_finegrained_cdf", argc, argv);
 }

@@ -5,18 +5,17 @@
 //
 // Two run modes:
 //   * default — the google-benchmark runner (all --benchmark_* flags work);
-//   * --json FILE — the fixed kernel/aggregate suite below, timed by a
-//     small in-house harness that reports ops/sec, per-op CPU time
+//   * --json FILE — the fixed kernel/aggregate suite, timed by a small
+//     in-house harness that reports ops/sec, per-op CPU time
 //     (CLOCK_PROCESS_CPUTIME_ID) and wall-clock p50/p95/p99 as JSON.
-//     scripts/bench.sh commits the output as BENCH_micro_core.json;
-//     --smoke shrinks the iteration counts to a build-gate sanity check.
+//     The suite lives in bench/scenarios/micro_core_scenario.cpp (also
+//     reachable as `poibench --scenario micro_core`); this binary just
+//     delegates. scripts/bench.sh commits the output as
+//     BENCH_micro_core.json; --smoke shrinks the iteration counts to a
+//     build-gate sanity check.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <cstdio>
 #include <cstdlib>
-#include <ctime>
-#include <fstream>
 #include <string_view>
 
 #include "attack/fine_grained.h"
@@ -25,14 +24,13 @@
 #include "cloak/kcloak.h"
 #include "common/parallel.h"
 #include "common/rng.h"
-#include "common/stats.h"
 #include "defense/opt_defense.h"
-#include "eval/json.h"
 #include "eval/runner.h"
 #include "geo/geometry.h"
 #include "opt/distortion.h"
 #include "poi/city_model.h"
 #include "poi/tile_aggregates.h"
+#include "scenarios/scenarios.h"
 
 namespace {
 
@@ -273,192 +271,6 @@ void BM_FreqInto(benchmark::State& state) {
 }
 BENCHMARK(BM_FreqInto)->Arg(5)->Arg(20)->Arg(40);
 
-// ---- The --json harness ---------------------------------------------------
-
-double cpu_now_ns() {
-  timespec ts{};
-  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) * 1e9 +
-         static_cast<double>(ts.tv_nsec);
-}
-
-/// Times `op` for `reps` repetitions of `iters` calls each and appends one
-/// JSON object: ops/sec over the whole run, mean CPU ns per op, and the
-/// p50/p95/p99 of the per-repetition wall ns per op.
-template <typename Fn>
-void emit_bench(eval::JsonWriter& json, const std::string& name,
-                std::size_t reps, std::size_t iters, Fn&& op) {
-  using Clock = std::chrono::steady_clock;
-  for (std::size_t warm = 0; warm < iters / 4 + 1; ++warm) op();
-
-  std::vector<double> per_op_ns;
-  per_op_ns.reserve(reps);
-  const double cpu0 = cpu_now_ns();
-  const Clock::time_point wall0 = Clock::now();
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    const Clock::time_point t0 = Clock::now();
-    for (std::size_t it = 0; it < iters; ++it) op();
-    per_op_ns.push_back(
-        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
-        static_cast<double>(iters));
-  }
-  const double n = static_cast<double>(reps * iters);
-  const double cpu_ns_per_op = (cpu_now_ns() - cpu0) / n;
-  const double wall_seconds =
-      std::chrono::duration<double>(Clock::now() - wall0).count();
-  const common::Percentiles pct = common::percentiles(per_op_ns);
-
-  json.begin_object();
-  json.field("name", name);
-  json.field("iterations", static_cast<std::uint64_t>(reps * iters));
-  json.field("ops_per_sec", n / wall_seconds);
-  json.field("cpu_ns_per_op", cpu_ns_per_op);
-  json.field("wall_ns_per_op_p50", pct.p50);
-  json.field("wall_ns_per_op_p95", pct.p95);
-  json.field("wall_ns_per_op_p99", pct.p99);
-  json.end_object();
-}
-
-/// The fixed suite behind --json: every vectorized kernel next to its
-/// scalar_ref oracle (the committed BENCH files record the speedup), the
-/// allocation-free aggregate paths next to the allocating one, and the
-/// pruned re-identification scan.
-int run_json_suite(const std::string& path, bool smoke) {
-  const std::size_t scale = smoke ? 50 : 1;
-  const std::size_t kernel_reps = smoke ? 3 : 25;
-  const std::size_t kernel_iters = 20000 / scale;
-  const std::size_t freq_reps = smoke ? 3 : 15;
-  const std::size_t freq_iters = 600 / scale;
-  const std::size_t reid_reps = smoke ? 2 : 10;
-  const std::size_t reid_iters = 60 / scale + 1;
-
-  eval::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "micro_core");
-  json.field("mode", smoke ? "smoke" : "full");
-  json.key("results");
-  json.begin_array();
-
-  for (const std::size_t m : {std::size_t{177}, std::size_t{272}}) {
-    const KernelCorpus& c = kernel_corpus(m);
-    const std::string tag = "_" + std::to_string(m);
-    const std::size_t pairs = c.as.size();
-    std::size_t i = 0;
-
-    // Even corpus indices are near-dominating pairs (the scalar loop must
-    // scan the whole row — the regime the straight-line kernel targets);
-    // odd indices are independent pairs violated almost immediately (the
-    // regime dominates_early_exit targets).
-    const auto pass_pair = [&] { return 2 * (i++ % (pairs / 2)); };
-    const auto fail_pair = [&] { return 2 * (i++ % (pairs / 2)) + 1; };
-    emit_bench(json, "scalar_dominates_pass" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = pass_pair();
-                 benchmark::DoNotOptimize(
-                     poi::scalar_ref::dominates(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "kernel_dominates_pass" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = pass_pair();
-                 benchmark::DoNotOptimize(poi::dominates(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "scalar_dominates_fail" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = fail_pair();
-                 benchmark::DoNotOptimize(
-                     poi::scalar_ref::dominates(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "kernel_dominates_early_exit_fail" + tag, kernel_reps,
-               kernel_iters, [&] {
-                 const std::size_t p = fail_pair();
-                 benchmark::DoNotOptimize(
-                     poi::dominates_early_exit(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "scalar_l1_distance" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = i++ % pairs;
-                 benchmark::DoNotOptimize(
-                     poi::scalar_ref::l1_distance(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "kernel_l1_distance" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = i++ % pairs;
-                 benchmark::DoNotOptimize(poi::l1_distance(c.as[p], c.bs[p]));
-               });
-    emit_bench(json, "scalar_total" + tag, kernel_reps, kernel_iters, [&] {
-      benchmark::DoNotOptimize(poi::scalar_ref::total(c.as[i++ % pairs]));
-    });
-    emit_bench(json, "kernel_total" + tag, kernel_reps, kernel_iters, [&] {
-      benchmark::DoNotOptimize(poi::total(c.as[i++ % pairs]));
-    });
-    poi::FrequencyVector diff_out(m);
-    emit_bench(json, "scalar_diff" + tag, kernel_reps, kernel_iters, [&] {
-      const std::size_t p = i++ % pairs;
-      benchmark::DoNotOptimize(poi::scalar_ref::diff(c.as[p], c.bs[p]));
-    });
-    emit_bench(json, "kernel_diff_into" + tag, kernel_reps, kernel_iters,
-               [&] {
-                 const std::size_t p = i++ % pairs;
-                 poi::diff_into(c.as[p], c.bs[p], diff_out);
-                 benchmark::DoNotOptimize(diff_out.data());
-               });
-    emit_bench(json, "scalar_topk_jaccard" + tag, kernel_reps,
-               kernel_iters / 10 + 1, [&] {
-                 const std::size_t p = i++ % pairs;
-                 benchmark::DoNotOptimize(
-                     poi::scalar_ref::top_k_jaccard(c.as[p], c.bs[p], 10));
-               });
-    emit_bench(json, "kernel_topk_jaccard" + tag, kernel_reps,
-               kernel_iters / 10 + 1, [&] {
-                 const std::size_t p = i++ % pairs;
-                 benchmark::DoNotOptimize(
-                     poi::top_k_jaccard(c.as[p], c.bs[p], 10));
-               });
-  }
-
-  // Aggregate paths on the Beijing preset at the default r = 2 km.
-  const poi::PoiDatabase& db = beijing().db;
-  const double r = 2.0;
-  std::int64_t loc = 0;
-  emit_bench(json, "freq_alloc_r2", freq_reps, freq_iters, [&] {
-    benchmark::DoNotOptimize(db.freq(location_for(++loc), r));
-  });
-  poi::FrequencyVector reused;
-  emit_bench(json, "freq_into_r2", freq_reps, freq_iters, [&] {
-    db.freq_into(location_for(++loc), r, reused);
-    benchmark::DoNotOptimize(reused.data());
-  });
-  std::vector<geo::Point> centers;
-  for (std::int64_t j = 0; j < 64; ++j) centers.push_back(location_for(j));
-  poi::FreqArena arena;
-  emit_bench(json, "freq_batch64_r2", freq_reps, freq_iters / 32 + 1, [&] {
-    db.freq_batch(centers, r, arena);
-    benchmark::DoNotOptimize(arena.row(0).data());
-  });
-  const poi::TileAggregates& tiles = db.tile_aggregates();
-  emit_bench(json, "tile_total_upper_bound_r4", kernel_reps, kernel_iters,
-             [&] {
-               benchmark::DoNotOptimize(
-                   tiles.total_upper_bound(location_for(++loc), 2.0 * r));
-             });
-  const attack::RegionReidentifier reid(db);
-  emit_bench(json, "region_reid_infer_r2", reid_reps, reid_iters, [&] {
-    const poi::FrequencyVector f = db.freq(location_for(++loc), r);
-    benchmark::DoNotOptimize(reid.infer(f, r));
-  });
-
-  json.end_array();
-  json.end_object();
-
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "micro_core: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  out << json.str() << "\n";
-  return out ? 0 : 1;
-}
-
 }  // namespace
 
 // Custom main: google-benchmark rejects unknown flags, so pull out our
@@ -496,7 +308,9 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   poiprivacy::common::set_default_thread_count(threads);
-  if (!json_path.empty()) return run_json_suite(json_path, smoke);
+  if (!json_path.empty()) {
+    return poiprivacy::bench::run_micro_core_json(json_path, smoke);
+  }
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

@@ -1,0 +1,282 @@
+// The micro_core --json suite as a scenario: the fixed kernel/aggregate
+// benchmark set, timed by a small in-house harness that reports ops/sec,
+// per-op CPU time (CLOCK_PROCESS_CPUTIME_ID) and wall-clock p50/p95/p99
+// as JSON. scripts/bench.sh commits the output as BENCH_micro_core.json;
+// --smoke shrinks the iteration counts to a build-gate sanity check.
+//
+// The google-benchmark runner for the same operations stays in
+// bench/micro_core.cpp (that binary delegates its --json mode here), so
+// this library — and everything that links it — does not depend on
+// google-benchmark.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "attack/region_reid.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "eval/json.h"
+#include "geo/geometry.h"
+#include "poi/city_model.h"
+#include "poi/tile_aggregates.h"
+#include "scenarios/scenarios.h"
+
+namespace poiprivacy::bench {
+
+namespace {
+
+using namespace poiprivacy;
+
+/// Compiler barrier standing in for benchmark::DoNotOptimize, so the
+/// JSON harness does not pull google-benchmark into the scenario library.
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+const poi::City& beijing() {
+  static const poi::City city = poi::generate_city(poi::beijing_preset(), 42);
+  return city;
+}
+
+geo::Point location_for(std::int64_t i) {
+  // Deterministic pseudo-random walk over the city interior.
+  const double x = 5.0 + std::fmod(static_cast<double>(i) * 7.31, 30.0);
+  const double y = 5.0 + std::fmod(static_cast<double>(i) * 3.77, 30.0);
+  return {x, y};
+}
+
+// Vector lengths are the real per-city type counts: 177 (Beijing preset)
+// and 272 (NYC preset). The pair corpus mixes near-dominating rows (as
+// the reid scan sees for surviving candidates) with independent rows (the
+// common, quickly-violated case).
+struct KernelCorpus {
+  std::vector<poi::FrequencyVector> as, bs;
+};
+
+const KernelCorpus& kernel_corpus(std::size_t m) {
+  static std::vector<std::pair<std::size_t, KernelCorpus>> cache;
+  for (const auto& [len, corpus] : cache) {
+    if (len == m) return corpus;
+  }
+  common::Rng rng(977 + m);
+  KernelCorpus corpus;
+  constexpr std::size_t kPairs = 64;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    poi::FrequencyVector a(m), b(m);
+    const bool near = p % 2 == 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      a[i] = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+      b[i] = near ? std::max<std::int32_t>(
+                        0, a[i] - static_cast<std::int32_t>(
+                                      rng.uniform_int(0, 1)))
+                  : static_cast<std::int32_t>(rng.uniform_int(0, 50));
+    }
+    corpus.as.push_back(std::move(a));
+    corpus.bs.push_back(std::move(b));
+  }
+  cache.emplace_back(m, std::move(corpus));
+  return cache.back().second;
+}
+
+double cpu_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+/// Times `op` for `reps` repetitions of `iters` calls each and appends one
+/// JSON object: ops/sec over the whole run, mean CPU ns per op, and the
+/// p50/p95/p99 of the per-repetition wall ns per op.
+template <typename Fn>
+void emit_bench(eval::JsonWriter& json, const std::string& name,
+                std::size_t reps, std::size_t iters, Fn&& op) {
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t warm = 0; warm < iters / 4 + 1; ++warm) op();
+
+  std::vector<double> per_op_ns;
+  per_op_ns.reserve(reps);
+  const double cpu0 = cpu_now_ns();
+  const Clock::time_point wall0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t it = 0; it < iters; ++it) op();
+    per_op_ns.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
+        static_cast<double>(iters));
+  }
+  const double n = static_cast<double>(reps * iters);
+  const double cpu_ns_per_op = (cpu_now_ns() - cpu0) / n;
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+  const common::Percentiles pct = common::percentiles(per_op_ns);
+
+  json.begin_object();
+  json.field("name", name);
+  json.field("iterations", static_cast<std::uint64_t>(reps * iters));
+  json.field("ops_per_sec", n / wall_seconds);
+  json.field("cpu_ns_per_op", cpu_ns_per_op);
+  json.field("wall_ns_per_op_p50", pct.p50);
+  json.field("wall_ns_per_op_p95", pct.p95);
+  json.field("wall_ns_per_op_p99", pct.p99);
+  json.end_object();
+}
+
+int run(const eval::BenchOptions& options) {
+  const std::string path = options.flags.get("json", std::string{});
+  const bool smoke = options.flags.get("smoke", false);
+  return run_micro_core_json(path, smoke);
+}
+
+}  // namespace
+
+int run_micro_core_json(const std::string& path, bool smoke) {
+  const std::size_t scale = smoke ? 50 : 1;
+  const std::size_t kernel_reps = smoke ? 3 : 25;
+  const std::size_t kernel_iters = 20000 / scale;
+  const std::size_t freq_reps = smoke ? 3 : 15;
+  const std::size_t freq_iters = 600 / scale;
+  const std::size_t reid_reps = smoke ? 2 : 10;
+  const std::size_t reid_iters = 60 / scale + 1;
+
+  eval::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "micro_core");
+  json.field("mode", smoke ? "smoke" : "full");
+  json.key("results");
+  json.begin_array();
+
+  for (const std::size_t m : {std::size_t{177}, std::size_t{272}}) {
+    const KernelCorpus& c = kernel_corpus(m);
+    const std::string tag = "_" + std::to_string(m);
+    const std::size_t pairs = c.as.size();
+    std::size_t i = 0;
+
+    // Even corpus indices are near-dominating pairs (the scalar loop must
+    // scan the whole row — the regime the straight-line kernel targets);
+    // odd indices are independent pairs violated almost immediately (the
+    // regime dominates_early_exit targets).
+    const auto pass_pair = [&] { return 2 * (i++ % (pairs / 2)); };
+    const auto fail_pair = [&] { return 2 * (i++ % (pairs / 2)) + 1; };
+    emit_bench(json, "scalar_dominates_pass" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = pass_pair();
+                 keep(poi::scalar_ref::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_dominates_pass" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = pass_pair();
+                 keep(poi::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_dominates_fail" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = fail_pair();
+                 keep(poi::scalar_ref::dominates(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_dominates_early_exit_fail" + tag, kernel_reps,
+               kernel_iters, [&] {
+                 const std::size_t p = fail_pair();
+                 keep(poi::dominates_early_exit(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_l1_distance" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 keep(poi::scalar_ref::l1_distance(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_l1_distance" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 keep(poi::l1_distance(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "scalar_total" + tag, kernel_reps, kernel_iters, [&] {
+      keep(poi::scalar_ref::total(c.as[i++ % pairs]));
+    });
+    emit_bench(json, "kernel_total" + tag, kernel_reps, kernel_iters, [&] {
+      keep(poi::total(c.as[i++ % pairs]));
+    });
+    poi::FrequencyVector diff_out(m);
+    emit_bench(json, "scalar_diff" + tag, kernel_reps, kernel_iters, [&] {
+      const std::size_t p = i++ % pairs;
+      keep(poi::scalar_ref::diff(c.as[p], c.bs[p]));
+    });
+    emit_bench(json, "kernel_diff_into" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ % pairs;
+                 poi::diff_into(c.as[p], c.bs[p], diff_out);
+                 keep(diff_out.data());
+               });
+    emit_bench(json, "scalar_topk_jaccard" + tag, kernel_reps,
+               kernel_iters / 10 + 1, [&] {
+                 const std::size_t p = i++ % pairs;
+                 keep(poi::scalar_ref::top_k_jaccard(c.as[p], c.bs[p], 10));
+               });
+    emit_bench(json, "kernel_topk_jaccard" + tag, kernel_reps,
+               kernel_iters / 10 + 1, [&] {
+                 const std::size_t p = i++ % pairs;
+                 keep(poi::top_k_jaccard(c.as[p], c.bs[p], 10));
+               });
+  }
+
+  // Aggregate paths on the Beijing preset at the default r = 2 km.
+  const poi::PoiDatabase& db = beijing().db;
+  const double r = 2.0;
+  std::int64_t loc = 0;
+  emit_bench(json, "freq_alloc_r2", freq_reps, freq_iters, [&] {
+    keep(db.freq(location_for(++loc), r));
+  });
+  poi::FrequencyVector reused;
+  emit_bench(json, "freq_into_r2", freq_reps, freq_iters, [&] {
+    db.freq_into(location_for(++loc), r, reused);
+    keep(reused.data());
+  });
+  std::vector<geo::Point> centers;
+  for (std::int64_t j = 0; j < 64; ++j) centers.push_back(location_for(j));
+  poi::FreqArena arena;
+  emit_bench(json, "freq_batch64_r2", freq_reps, freq_iters / 32 + 1, [&] {
+    db.freq_batch(centers, r, arena);
+    keep(arena.row(0).data());
+  });
+  const poi::TileAggregates& tiles = db.tile_aggregates();
+  emit_bench(json, "tile_total_upper_bound_r4", kernel_reps, kernel_iters,
+             [&] {
+               keep(tiles.total_upper_bound(location_for(++loc), 2.0 * r));
+             });
+  const attack::RegionReidentifier reid(db);
+  emit_bench(json, "region_reid_infer_r2", reid_reps, reid_iters, [&] {
+    const poi::FrequencyVector f = db.freq(location_for(++loc), r);
+    keep(reid.infer(f, r));
+  });
+
+  json.end_array();
+  json.end_object();
+
+  if (path.empty() || path == "-") {
+    std::cout << json.str() << "\n";
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "micro_core: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json.str() << "\n";
+  return out ? 0 : 1;
+}
+
+void register_micro_core(eval::ScenarioRegistry& registry) {
+  registry.add({
+      .name = "micro_core",
+      .description = "Kernel/aggregate micro-benchmark suite as JSON "
+                     "(--json FILE, --smoke; timings, so --all skips it)",
+      .extra_flags = {"json", "smoke"},
+      .smoke_args = {"--smoke"},
+      .deterministic = false,
+      .run = run,
+  });
+}
+
+}  // namespace poiprivacy::bench

@@ -1,0 +1,53 @@
+// The scenario catalog: every figure-reproduction and ablation benchmark
+// as a registered eval::Scenario. Each scenario lives in its own .cpp in
+// this directory and exposes one registration function; the scenarios are
+// in a static library, so registration is explicit (register_all_scenarios)
+// rather than static-initializer magic the linker could drop.
+//
+// Entry points:
+//   * `poibench` (bench/poibench.cpp) — list/run scenarios by name.
+//   * per-figure shim binaries — `run_scenario_main(name, argc, argv)`,
+//     byte-identical to the historical standalone executables.
+//   * tests — register_all_scenarios() plus the eval::ScenarioRegistry
+//     API directly.
+#pragma once
+
+#include "eval/scenario.h"
+
+namespace poiprivacy::bench {
+
+void register_fig02_sanitize_accuracy(eval::ScenarioRegistry& registry);
+void register_fig03_sanitization(eval::ScenarioRegistry& registry);
+void register_fig04_geoind(eval::ScenarioRegistry& registry);
+void register_fig05_kcloak(eval::ScenarioRegistry& registry);
+void register_fig06_finegrained_cdf(eval::ScenarioRegistry& registry);
+void register_fig07_aux_anchors(eval::ScenarioRegistry& registry);
+void register_fig08_trajectory(eval::ScenarioRegistry& registry);
+void register_fig09_10_nonprivate_defense(eval::ScenarioRegistry& registry);
+void register_fig11_12_dp_defense(eval::ScenarioRegistry& registry);
+void register_ablation_dp_noise(eval::ScenarioRegistry& registry);
+void register_ablation_recovery_models(eval::ScenarioRegistry& registry);
+void register_ablation_regressors(eval::ScenarioRegistry& registry);
+void register_ablation_robust_attack(eval::ScenarioRegistry& registry);
+void register_ext_category_defense(eval::ScenarioRegistry& registry);
+void register_ext_chain_attack(eval::ScenarioRegistry& registry);
+void register_uniqueness_analysis(eval::ScenarioRegistry& registry);
+void register_micro_core(eval::ScenarioRegistry& registry);
+void register_service_throughput(eval::ScenarioRegistry& registry);
+
+/// Registers every scenario above into the process-wide registry.
+/// Idempotent: safe to call from several entry points in one process.
+void register_all_scenarios();
+
+/// The micro_core --json harness: times the fixed kernel/aggregate suite
+/// and writes one JSON document to `path` (stdout when empty or "-").
+/// Shared by the micro_core scenario and the google-benchmark binary's
+/// --json mode.
+int run_micro_core_json(const std::string& path, bool smoke);
+
+/// The two-line-shim entry point: registers everything and runs `name`
+/// with the given argv, exactly as the historical standalone binary did.
+int run_scenario_main(std::string_view name, int argc,
+                      const char* const* argv);
+
+}  // namespace poiprivacy::bench

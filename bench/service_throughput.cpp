@@ -1,146 +1,7 @@
-// Serving-layer throughput: requests/sec and per-request latency
-// percentiles for a synthetic multi-user day of traffic, at the given
-// users x threads point. Human-readable context goes to stderr; stdout
-// is one JSON object so sweep scripts can ingest the numbers directly:
-//
-//   ./bench/service_throughput --users 1000 --requests 20 --threads 8
-//
-// The default trace is 1,000 users x 20 requests = 20,000 requests.
-// Results (statuses, vectors, counters) are bit-identical for any
-// --threads; only the timing numbers vary.
-#include <cstdint>
-#include <ctime>
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "common/flags.h"
-#include "common/stats.h"
-#include "common/stopwatch.h"
-#include "eval/json.h"
-#include "poi/city_model.h"
-#include "service/workload.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/service_throughput.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const common::Flags flags(argc, argv,
-                            {"users", "requests", "seed", "batch", "cache",
-                             "ceiling", common::Flags::kThreadsFlag,
-                             common::Flags::kMetricsFlag});
-  if (flags.help_requested()) {
-    std::cout << flags.usage(argv[0]);
-    return 0;
-  }
-  const auto seed = static_cast<std::uint64_t>(
-      flags.get("seed", static_cast<std::int64_t>(42)));
-  const auto users = static_cast<std::size_t>(
-      flags.get("users", static_cast<std::int64_t>(1000)));
-  const auto requests_per_user = static_cast<std::size_t>(
-      flags.get("requests", static_cast<std::int64_t>(20)));
-  const std::size_t threads = flags.apply_threads_flag();
-  flags.apply_metrics_flag();
-
-  const poi::City city = poi::generate_city(poi::beijing_preset(), seed);
-  common::Rng pop_rng(seed + 1);
-  const cloak::AdaptiveIntervalCloaker cloaker(
-      cloak::uniform_population(city.db.bounds(), 10000, pop_rng),
-      city.db.bounds());
-
-  service::ServiceConfig config;
-  config.policies.push_back(
-      {"interactive", {.k = 16, .epsilon = 0.5, .delta = 0.01}});
-  config.policies.push_back(
-      {"coarse", {.k = 32, .epsilon = 0.1, .delta = 0.001}});
-  config.degrade_policy = 1;
-  config.epsilon_ceiling = flags.get("ceiling", 6.0);
-  config.max_batch =
-      static_cast<std::size_t>(flags.get("batch", std::int64_t{256}));
-  config.cache_capacity =
-      static_cast<std::size_t>(flags.get("cache", std::int64_t{4096}));
-  config.seed = seed;
-  service::ReleaseService gsp(city.db, cloaker, config);
-
-  service::WorkloadConfig workload;
-  workload.num_users = users;
-  workload.requests_per_user = requests_per_user;
-  workload.seed = seed + 2;
-  workload.policy_weights = {0.8, 0.2};
-  const std::vector<service::ReleaseRequest> trace =
-      service::requests_of(service::generate_workload(city, workload));
-
-  std::cerr << "service_throughput: " << trace.size() << " requests, "
-            << users << " users, threads=" << threads
-            << ", batch=" << config.max_batch << "\n";
-
-  // Process CPU time brackets the serve: on a single-core host wall
-  // clock mostly tracks scheduler noise, so per-request CPU time is the
-  // comparable number across runs.
-  timespec cpu0{};
-  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu0);
-  const common::Stopwatch timer;
-  const std::vector<service::ReleaseResult> results = gsp.serve(trace);
-  const double seconds = timer.seconds();
-  timespec cpu1{};
-  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu1);
-  const double cpu_seconds = static_cast<double>(cpu1.tv_sec - cpu0.tv_sec) +
-                             static_cast<double>(cpu1.tv_nsec - cpu0.tv_nsec) / 1e9;
-
-  // Per-request latency: each request is attributed its batch's drain
-  // time divided by the batch size (requests in a batch are served
-  // together, so that is the time one of them occupied the service).
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(results.size());
-  const std::vector<double>& batch_seconds = gsp.batch_seconds();
-  const std::vector<std::size_t>& batch_sizes = gsp.batch_sizes();
-  for (std::size_t b = 0; b < batch_seconds.size(); ++b) {
-    const double per_request_ms =
-        batch_seconds[b] * 1e3 / static_cast<double>(batch_sizes[b]);
-    for (std::size_t i = 0; i < batch_sizes[b]; ++i) {
-      latencies_ms.push_back(per_request_ms);
-    }
-  }
-  const common::Percentiles latency = common::percentiles(latencies_ms);
-  const service::ServiceStats& stats = gsp.stats();
-  const service::ReleaseCacheStats cache = gsp.cache_stats();
-
-  eval::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "service_throughput");
-  json.field("users", static_cast<std::uint64_t>(users));
-  json.field("requests", static_cast<std::uint64_t>(trace.size()));
-  json.field("threads", static_cast<std::uint64_t>(threads));
-  json.field("batch", static_cast<std::uint64_t>(config.max_batch));
-  json.field("seed", seed);
-  json.field("seconds", seconds);
-  json.field("cpu_seconds", cpu_seconds);
-  json.field("requests_per_sec",
-             static_cast<double>(trace.size()) / seconds);
-  json.field("cpu_us_per_request",
-             cpu_seconds * 1e6 / static_cast<double>(trace.size()));
-  json.key("latency_ms");
-  json.begin_object();
-  json.field("p50", latency.p50);
-  json.field("p95", latency.p95);
-  json.field("p99", latency.p99);
-  json.end_object();
-  json.key("status");
-  json.begin_object();
-  for (const service::ReleaseStatus status : service::kAllStatuses) {
-    json.field(service::status_name(status), stats.count(status));
-  }
-  json.end_object();
-  json.key("cache");
-  json.begin_object();
-  json.field("hits", stats.cache_hits);
-  json.field("misses", stats.cache_misses);
-  json.field("hit_rate", stats.cache_hit_rate());
-  json.field("evictions", cache.evictions);
-  json.field("entries", cache.entries);
-  json.end_object();
-  json.field("users_seen", static_cast<std::uint64_t>(gsp.num_users()));
-  json.field("batches", stats.batches);
-  json.end_object();
-  std::cout << json.str() << "\n";
-  return 0;
+  return poiprivacy::bench::run_scenario_main("service_throughput", argc, argv);
 }

@@ -1,40 +1,7 @@
-// Location-uniqueness sweep (companion analysis, Cao et al. IMWUT'18):
-// the fraction of each city that is re-identifiable from an honest POI
-// aggregate, per query range — the quantity whose existence motivates the
-// paper's attacks and defense.
-#include <iostream>
-
-#include "bench_common.h"
-#include "eval/uniqueness.h"
-
-using namespace poiprivacy;
+// Thin shim preserving the historical standalone binary: the scenario
+// body lives in bench/scenarios/uniqueness_analysis.cpp.
+#include "scenarios/scenarios.h"
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options(argc, argv, {"cell"});
-  const double cell = options.flags.get("cell", 1.0);
-  options.print_context(
-      "Uniqueness analysis — fraction of the city re-identifiable from "
-      "honest aggregates (grid pitch " + common::fmt(cell, 1) + " km)");
-  const eval::Workbench workbench(options.workbench_config());
-
-  eval::Table table({"city", "r=0.5km", "r=1.0km", "r=2.0km", "r=4.0km",
-                     "probes"});
-  for (const poi::City* city : {&workbench.beijing(), &workbench.nyc()}) {
-    std::vector<std::string> row{city->db.city_name()};
-    std::size_t probes = 0;
-    for (const double r : bench::kQueryRangesKm) {
-      const eval::UniquenessMap map =
-          eval::analyze_uniqueness(city->db, r, cell);
-      row.push_back(common::fmt(map.uniqueness_ratio()));
-      probes = map.cells.size();
-    }
-    row.push_back(std::to_string(probes));
-    table.add_row(std::move(row));
-  }
-  eval::print_section(std::cout, "uniqueness ratio (unique / non-empty)");
-  table.print(std::cout);
-  eval::print_note(std::cout,
-                   "Cao et al. report that a substantial and growing "
-                   "fraction of city locations is unique as r grows");
-  return 0;
+  return poiprivacy::bench::run_scenario_main("uniqueness_analysis", argc, argv);
 }

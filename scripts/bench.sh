@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf trajectory recorder: builds a Release tree and runs the two
-# JSON-emitting benchmarks, writing
+# JSON-emitting benchmarks through the poibench scenario driver, writing
 #
 #   BENCH_micro_core.json           kernel microbenches (ops/sec, per-op
 #                                   CPU time, wall-clock p50/p95/p99)
@@ -20,14 +20,14 @@ mkdir -p "$outdir"
 
 echo "== bench.sh: Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$jobs" --target micro_core service_throughput
+cmake --build build-release -j "$jobs" --target poibench
 
 echo "== bench.sh: micro_core kernel benches =="
-./build-release/bench/micro_core --json "$outdir/BENCH_micro_core.json" \
-  --threads 1
+./build-release/bench/poibench --scenario micro_core \
+  --json "$outdir/BENCH_micro_core.json" --threads 1
 echo "wrote $outdir/BENCH_micro_core.json"
 
 echo "== bench.sh: service_throughput =="
-./build-release/bench/service_throughput --threads 1 \
+./build-release/bench/poibench --scenario service_throughput --threads 1 \
   > "$outdir/BENCH_service_throughput.json"
 echo "wrote $outdir/BENCH_service_throughput.json"

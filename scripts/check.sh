@@ -5,9 +5,12 @@
 #   3. the metrics-determinism binary, which internally re-runs the
 #      service and eval pipelines at --threads 1/2/8 with mid-run
 #      registry scrapes and asserts bit-identical results,
-#   4. a Release-build bench smoke: micro_core --json --smoke must run
-#      the whole kernel suite and emit parseable JSON (catches perf
-#      harness rot without paying for a full bench run).
+#   4. the scenario-catalog determinism gate: poibench --all --smoke at
+#      --threads 1 and --threads 8 must produce identical stdout (only
+#      the printed thread count is normalized away),
+#   5. a Release-build bench smoke: the micro_core --json suite (through
+#      the poibench driver) must run whole and emit parseable JSON
+#      (catches perf harness rot without paying for a full bench run).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -15,24 +18,37 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/4] plain build + tier-1 tests =="
+echo "== [1/5] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/4] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/5] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/4] metrics determinism at --threads 1/2/8 =="
+echo "== [3/5] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
 
-echo "== [4/4] Release bench smoke =="
+echo "== [4/5] poibench --all --smoke determinism at --threads 1/8 =="
+cmake --build build -j "$jobs" --target poibench
+smoke_t1="$(mktemp)"
+smoke_t8="$(mktemp)"
+./build/bench/poibench --all --smoke --threads 1 2>/dev/null \
+  | sed 's/threads=[0-9]*/threads=N/' > "$smoke_t1"
+./build/bench/poibench --all --smoke --threads 8 2>/dev/null \
+  | sed 's/threads=[0-9]*/threads=N/' > "$smoke_t8"
+diff -u "$smoke_t1" "$smoke_t8"
+echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8"
+rm -f "$smoke_t1" "$smoke_t8"
+
+echo "== [5/5] Release bench smoke =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$jobs" --target micro_core
+cmake --build build-release -j "$jobs" --target poibench
 smoke_json="$(mktemp)"
-./build-release/bench/micro_core --json "$smoke_json" --smoke --threads 1
+./build-release/bench/poibench --scenario micro_core \
+  --json "$smoke_json" --smoke --threads 1
 python3 -c "
 import json, sys
 with open('$smoke_json') as f:

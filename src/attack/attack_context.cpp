@@ -1,0 +1,56 @@
+#include "attack/attack_context.h"
+
+#include <algorithm>
+
+namespace poiprivacy::attack {
+
+std::size_t AttackContext::rarest_present(
+    std::span<const std::int32_t> released, std::span<poi::TypeId> out,
+    std::optional<poi::TypeId> skip) const noexcept {
+  const poi::FrequencyVector& city = db_->city_freq();
+  std::size_t n = 0;
+  for (poi::TypeId t = 0; t < released.size(); ++t) {
+    if (released[t] <= 0) continue;
+    if (skip && t == *skip) continue;
+    std::size_t pos = n;
+    while (pos > 0 && (city[t] < city[out[pos - 1]] ||
+                       (city[t] == city[out[pos - 1]] && t < out[pos - 1]))) {
+      --pos;
+    }
+    if (pos >= out.size()) continue;
+    for (std::size_t j = std::min(n, out.size() - 1); j > pos; --j) {
+      out[j] = out[j - 1];
+    }
+    out[pos] = t;
+    if (n < out.size()) ++n;
+  }
+  return n;
+}
+
+std::optional<poi::TypeId> AttackContext::pivot_type(
+    std::span<const std::int32_t> released) const noexcept {
+  poi::TypeId slot[1];
+  if (rarest_present(released, slot) == 0) return std::nullopt;
+  return slot[0];
+}
+
+std::vector<poi::TypeId> AttackContext::rare_present_types(
+    std::span<const std::int32_t> released, std::size_t max_n,
+    std::optional<poi::TypeId> skip) const {
+  const poi::FrequencyVector& city = db_->city_freq();
+  std::vector<poi::TypeId> present;
+  for (poi::TypeId t = 0; t < released.size(); ++t) {
+    if (released[t] > 0 && (!skip || t != *skip)) present.push_back(t);
+  }
+  const std::size_t keep = std::min(max_n, present.size());
+  std::partial_sort(present.begin(),
+                    present.begin() + static_cast<std::ptrdiff_t>(keep),
+                    present.end(), [&city](poi::TypeId a, poi::TypeId b) {
+                      if (city[a] != city[b]) return city[a] < city[b];
+                      return a < b;
+                    });
+  present.resize(keep);
+  return present;
+}
+
+}  // namespace poiprivacy::attack

@@ -37,11 +37,11 @@ ChainInferenceResult ChainAttack::infer(
     if (here.empty() || next.empty()) continue;
     const double estimate = result.estimated_step_km[t];
     for (std::size_t i = 0; i < here.size(); ++i) {
-      const geo::Point pa = db_->poi(here[i]).pos;
+      const geo::Point pa = ctx_.db().poi(here[i]).pos;
       bool reachable = false;
       for (std::size_t j = 0; j < next.size() && !reachable; ++j) {
         if (!alive[t + 1][j]) continue;
-        const double d = geo::distance(pa, db_->poi(next[j]).pos);
+        const double d = geo::distance(pa, ctx_.db().poi(next[j]).pos);
         reachable = std::abs(d - estimate) <= slack;
       }
       alive[t][i] = reachable;
@@ -68,7 +68,7 @@ ChainInferenceResult ChainAttack::infer(
 bool ChainAttack::success(const ChainInferenceResult& result,
                           geo::Point first_truth) const noexcept {
   return result.unique() &&
-         geo::distance(db_->poi(result.surviving_first_candidates.front()).pos,
+         geo::distance(ctx_.db().poi(result.surviving_first_candidates.front()).pos,
                        first_truth) <= r_ + 1e-9;
 }
 

@@ -44,7 +44,7 @@ class ChainAttack {
   /// Reuses the two-release attack's trained distance regressor.
   ChainAttack(const poi::PoiDatabase& db, const TrajectoryAttack& pairwise,
               double r)
-      : db_(&db), pairwise_(&pairwise), reid_(db), r_(r) {}
+      : ctx_(db), pairwise_(&pairwise), reid_(db), r_(r) {}
 
   /// Runs the attack over n >= 1 successive releases.
   ChainInferenceResult infer(std::span<const TimedRelease> releases) const;
@@ -55,7 +55,7 @@ class ChainAttack {
                geo::Point first_truth) const noexcept;
 
  private:
-  const poi::PoiDatabase* db_;
+  AttackContext ctx_;
   const TrajectoryAttack* pairwise_;
   RegionReidentifier reid_;
   double r_;

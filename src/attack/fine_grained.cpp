@@ -85,25 +85,26 @@ FineGrainedResult FineGrainedAttack::infer(
 
   result.baseline_unique = true;
   result.major_anchor = baseline.candidates.front();
-  const geo::Point anchor_pos = db_->poi(result.major_anchor).pos;
+  const poi::PoiDatabase& db = ctx_.db();
+  const geo::Point anchor_pos = db.poi(result.major_anchor).pos;
   result.feasible_disks.push_back({anchor_pos, r});
 
-  const std::vector<poi::PoiId> around = db_->query(anchor_pos, 2.0 * r);
+  const std::vector<poi::PoiId> around = db.query(anchor_pos, 2.0 * r);
   const poi::FrequencyVector& f_anchor =
-      db_->anchor_freq(result.major_anchor, 2.0 * r);
+      ctx_.anchor_freq(result.major_anchor, 2.0 * r);
   const poi::FrequencyVector f_diff = poi::diff(f_anchor, released);
 
   // Bucket the anchor's neighbourhood by type once.
-  std::vector<std::vector<poi::PoiId>> by_type(db_->num_types());
+  std::vector<std::vector<poi::PoiId>> by_type(db.num_types());
   for (const poi::PoiId id : around) {
-    if (id != result.major_anchor) by_type[db_->poi(id).type].push_back(id);
+    if (id != result.major_anchor) by_type[db.poi(id).type].push_back(id);
   }
 
   // Visit types in ascending F_diff order (cheapest, most reliable
   // evidence first: F_diff == 0 anchors are provably within r of l).
   std::vector<poi::TypeId> order;
-  order.reserve(db_->num_types());
-  for (poi::TypeId t = 0; t < db_->num_types(); ++t) {
+  order.reserve(db.num_types());
+  for (poi::TypeId t = 0; t < db.num_types(); ++t) {
     // Only types actually present in the released vector carry the
     // guarantee that their nearby POIs could anchor l.
     if (released[t] > 0 && !by_type[t].empty()) order.push_back(t);
@@ -116,27 +117,24 @@ FineGrainedResult FineGrainedAttack::infer(
   }
 
   // Tile-envelope prune for the dominance-tested (pruned-rule) anchors
-  // below: same exact rejection as the baseline attack's, probing the
-  // rarest present types first. A candidate of the type currently being
-  // visited always contributes to its own window, so its own bound never
-  // fires — harmless, the other probes still reject.
+  // below: same exact rejection as the baseline attack's
+  // (AttackContext::exact_prune_with_total), probing the rarest present
+  // types first. A candidate of the type currently being visited always
+  // contributes to its own window, so its own bound never fires —
+  // harmless, the other probes still reject.
   constexpr std::size_t kPruneTypes = 4;
   const std::vector<poi::TypeId> rare =
-      rare_present_types(*db_, released, kPruneTypes);
-  const poi::TileAggregates& tiles = db_->tile_aggregates();
+      ctx_.rare_present_types(released, kPruneTypes);
   const std::int64_t released_total = poi::total(released);
   const auto tile_pruned = [&](geo::Point pos) {
-    const poi::TileAggregates::Window win = tiles.window(pos, 2.0 * r);
-    for (const poi::TypeId t : rare) {
-      if (win.type_bound(t) < released[t]) return true;
-    }
-    return win.total_bound() < released_total;
+    return AttackContext::exact_prune_with_total(
+        ctx_.window(pos, 2.0 * r), released, rare, released_total);
   };
 
   FeasibleRegion region({anchor_pos, r}, config_.area_resolution);
   const auto consider = [&](poi::PoiId id) {
     if (result.aux_anchors.size() >= config_.max_aux) return;
-    const geo::Circle disk{db_->poi(id).pos, r};
+    const geo::Circle disk{db.poi(id).pos, r};
     if (region.try_intersect(disk)) {
       result.aux_anchors.push_back(id);
       result.feasible_disks.push_back(disk);
@@ -160,8 +158,8 @@ FineGrainedResult FineGrainedAttack::infer(
       if (f_diff[t] > config_.max_pruned_diff) continue;
       for (const poi::PoiId id : by_type[t]) {
         if (result.aux_anchors.size() >= config_.max_aux) break;
-        if (tile_pruned(db_->poi(id).pos)) continue;
-        const poi::FrequencyVector& f_p = db_->anchor_freq(id, 2.0 * r);
+        if (tile_pruned(db.poi(id).pos)) continue;
+        const poi::FrequencyVector& f_p = ctx_.anchor_freq(id, 2.0 * r);
         if (poi::dominates(f_p, released)) consider(id);
       }
     }

@@ -55,7 +55,7 @@ struct FineGrainedResult {
 class FineGrainedAttack {
  public:
   FineGrainedAttack(const poi::PoiDatabase& db, FineGrainedConfig config = {})
-      : db_(&db), reid_(db), config_(config) {}
+      : ctx_(db), reid_(db), config_(config) {}
 
   FineGrainedResult infer(const poi::FrequencyVector& released,
                           double r) const;
@@ -63,7 +63,7 @@ class FineGrainedAttack {
   const FineGrainedConfig& config() const noexcept { return config_; }
 
  private:
-  const poi::PoiDatabase* db_;
+  AttackContext ctx_;
   RegionReidentifier reid_;
   FineGrainedConfig config_;
 };

@@ -1,120 +1,45 @@
 #include "attack/region_reid.h"
 
-#include <algorithm>
 #include <array>
 #include <span>
 
 namespace poiprivacy::attack {
 
-std::vector<poi::TypeId> rare_present_types(
-    const poi::PoiDatabase& db, const poi::FrequencyVector& released,
-    std::size_t max_n, std::optional<poi::TypeId> skip) {
-  const poi::FrequencyVector& city = db.city_freq();
-  std::vector<poi::TypeId> present;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] > 0 && (!skip || t != *skip)) present.push_back(t);
-  }
-  const std::size_t keep = std::min(max_n, present.size());
-  std::partial_sort(present.begin(),
-                    present.begin() + static_cast<std::ptrdiff_t>(keep),
-                    present.end(), [&city](poi::TypeId a, poi::TypeId b) {
-                      if (city[a] != city[b]) return city[a] < city[b];
-                      return a < b;
-                    });
-  present.resize(keep);
-  return present;
-}
-
-std::optional<poi::TypeId> RegionReidentifier::pivot_type(
-    const poi::FrequencyVector& released) const {
-  const poi::FrequencyVector& city = db_->city_freq();
-  std::optional<poi::TypeId> best;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] <= 0) continue;
-    if (!best || city[t] < city[*best] ||
-        (city[t] == city[*best] && t < *best)) {
-      best = t;
-    }
-  }
-  return best;
-}
-
 ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
                                      double r) const {
   ReidResult result;
 
-  // One allocation-free pass finds the pivot AND the next kPruneTypes
-  // rarest present types (same (city-count, id) order as pivot_type() and
-  // rare_present_types()): bounded insertion into a sorted array costs
-  // ~one comparison per type, where the allocating helper costs ~1us per
-  // call — more than the whole candidate loop at large r.
+  // One fused scan finds the pivot AND the next kPruneTypes rarest
+  // present types (AttackContext::rarest_present, same (city-count, id)
+  // order as pivot_type()).
   constexpr std::size_t kPruneTypes = 4;
-  const poi::FrequencyVector& city = db_->city_freq();
   std::array<poi::TypeId, 1 + kPruneTypes> rarest;
-  std::size_t nrare = 0;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] <= 0) continue;
-    std::size_t pos = nrare;
-    while (pos > 0 && (city[t] < city[rarest[pos - 1]] ||
-                       (city[t] == city[rarest[pos - 1]] &&
-                        t < rarest[pos - 1]))) {
-      --pos;
-    }
-    if (pos >= rarest.size()) continue;
-    for (std::size_t j = std::min(nrare, rarest.size() - 1); j > pos; --j) {
-      rarest[j] = rarest[j - 1];
-    }
-    rarest[pos] = t;
-    if (nrare < rarest.size()) ++nrare;
-  }
+  const std::size_t nrare = ctx_.rarest_present(released, rarest);
   if (nrare == 0) return result;
   result.pivot_type = rarest[0];
   const std::span<const poi::TypeId> rare(rarest.data() + 1, nrare - 1);
 
-  // Tile-envelope pruning: dominance requires F(p, 2r)[t] >= released[t]
-  // for every t, and the tile bound dominates the left-hand side, so a
-  // candidate whose bound already falls short is rejected exactly —
-  // without touching the anchor cache or running the disk aggregation.
-  // The probed types skip the pivot (every candidate is itself a
-  // pivot-type POI, so that bound can never fire): rare types have few
-  // POIs citywide, which makes a zero-count window — and thus a
-  // one-comparison rejection — the common case when the release carries
-  // many types. (A total-count bound was measured to reject ~nothing the
-  // rare-type probes don't, so the hot loop does not pay for one.)
-  //
-  // The prune is gated adaptively: at small r nearly every candidate
-  // dominates the near-empty release, so probing is pure overhead. The
-  // first kProbe candidates measure the reject rate; below kMinRejects
-  // the remaining candidates go straight to the cached dominance scan.
-  // The gate is a deterministic function of the candidate sequence, and
-  // pruning only ever skips candidates the full test would reject, so
-  // results are bit-identical with the prune on, off, or mixed.
-  constexpr int kProbe = 32;
-  constexpr int kMinRejects = 8;
-  const poi::TileAggregates& tiles = db_->tile_aggregates();
-  int probed = 0;
-  int rejected = 0;
-  bool prune_on = !rare.empty();
+  // Tile-envelope pruning (AttackContext::exact_prune): dominance requires
+  // F(p, 2r)[t] >= released[t] for every t, and the tile bound dominates
+  // the left-hand side, so a candidate whose bound already falls short is
+  // rejected exactly — without touching the anchor cache or running the
+  // disk aggregation. The probed types skip the pivot (every candidate is
+  // itself a pivot-type POI, so that bound can never fire). (A total-count
+  // bound was measured to reject ~nothing the rare-type probes don't, so
+  // this hot loop does not pay for one.)
+  AttackContext::AdaptiveGate gate(!rare.empty());
 
-  for (const poi::PoiId candidate : db_->pois_of_type(*result.pivot_type)) {
-    if (prune_on) {
+  for (const poi::PoiId candidate : ctx_.candidates_of_type(*result.pivot_type)) {
+    if (gate.enabled()) {
       const poi::TileAggregates::Window win =
-          tiles.window(db_->poi(candidate).pos, 2.0 * r);
-      bool fired = false;
-      for (const poi::TypeId t : rare) {
-        if (win.type_bound(t) < released[t]) {
-          fired = true;
-          break;
-        }
-      }
-      ++probed;
-      rejected += fired;
-      if (probed == kProbe && rejected < kMinRejects) prune_on = false;
+          ctx_.window(ctx_.db().poi(candidate).pos, 2.0 * r);
+      const bool fired = AttackContext::exact_prune(win, released, rare);
+      gate.record(fired);
       if (fired) continue;
     }
     // Cached: the same anchors are probed at the same 2r for every
     // evaluated location, and this dominance scan is the attack's hot path.
-    const poi::FrequencyVector& around = db_->anchor_freq(candidate, 2.0 * r);
+    const poi::FrequencyVector& around = ctx_.anchor_freq(candidate, 2.0 * r);
     if (poi::dominates(around, released)) {
       result.candidates.push_back(candidate);
     }

@@ -10,10 +10,16 @@
 //      negatives),
 //   4. declares success iff exactly one candidate survives; the user then
 //      lies somewhere in disk(p*, r), an area of pi r^2.
+//
+// The enumeration/pruning machinery (pivot scan, tile-envelope prune,
+// adaptive gate, anchor cache) lives in attack::AttackContext; this class
+// is the strategy layer that wires those primitives into the baseline
+// candidate loop.
 #pragma once
 
 #include <optional>
 
+#include "attack/attack_context.h"
 #include "poi/database.h"
 
 namespace poiprivacy::attack {
@@ -29,19 +35,21 @@ struct ReidResult {
 
 class RegionReidentifier {
  public:
-  explicit RegionReidentifier(const poi::PoiDatabase& db) : db_(&db) {}
+  explicit RegionReidentifier(const poi::PoiDatabase& db) : ctx_(db) {}
 
   /// Runs the attack on a released vector for query radius `r` km.
   ReidResult infer(const poi::FrequencyVector& released, double r) const;
 
   /// Citywide-rarest type with a positive entry, if any.
   std::optional<poi::TypeId> pivot_type(
-      const poi::FrequencyVector& released) const;
+      const poi::FrequencyVector& released) const {
+    return ctx_.pivot_type(released);
+  }
 
-  const poi::PoiDatabase& db() const noexcept { return *db_; }
+  const poi::PoiDatabase& db() const noexcept { return ctx_.db(); }
 
  private:
-  const poi::PoiDatabase* db_;
+  AttackContext ctx_;
 };
 
 /// The paper's success criterion, evaluated against ground truth: the
@@ -49,17 +57,5 @@ class RegionReidentifier {
 /// lies within r of it.
 bool attack_success(const ReidResult& result, const poi::PoiDatabase& db,
                     geo::Point true_location, double r) noexcept;
-
-/// The `max_n` citywide-rarest types present in `released`, rarest first,
-/// excluding `skip`. These drive the tile-envelope candidate prune shared
-/// by the re-identification attacks: a rare type has few POIs citywide, so
-/// most candidate windows contain zero of them and one integer comparison
-/// (`window.type_bound(t) < released[t]`) rejects the candidate before any
-/// disk aggregation or cache lookup. `skip` exists because a candidate of
-/// type t always contributes to its own window, making the t-bound useless
-/// against pivot-type candidates.
-std::vector<poi::TypeId> rare_present_types(
-    const poi::PoiDatabase& db, const poi::FrequencyVector& released,
-    std::size_t max_n, std::optional<poi::TypeId> skip = std::nullopt);
 
 }  // namespace poiprivacy::attack

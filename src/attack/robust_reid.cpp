@@ -22,59 +22,34 @@ bool dominates_tolerant(std::span<const std::int32_t> a,
 RobustReidResult RobustReidentifier::infer(
     const poi::FrequencyVector& released, double r) const {
   RobustReidResult result;
-  const poi::FrequencyVector& city = db_->city_freq();
 
   // The `num_pivots` rarest present types.
-  std::vector<poi::TypeId> pivots;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] > 0) pivots.push_back(t);
-  }
-  std::sort(pivots.begin(), pivots.end(),
-            [&city](poi::TypeId a, poi::TypeId b) {
-              if (city[a] != city[b]) return city[a] < city[b];
-              return a < b;
-            });
-  if (pivots.size() > config_.num_pivots) pivots.resize(config_.num_pivots);
+  const std::vector<poi::TypeId> pivots =
+      ctx_.rare_present_types(released, config_.num_pivots);
 
   // Gather candidates per pivot with the tolerant test; a candidate set
   // that explodes carries no information, so bound it.
   constexpr std::size_t kMaxCandidatesPerPivot = 64;
-  const poi::TileAggregates& tiles = db_->tile_aggregates();
   const std::int64_t released_total = poi::total(released);
-  // Exact tolerant prune. Each probed type t with type_bound(t) <
-  // released[t] is a guaranteed violation with deficit at least
-  // released[t] - bound (the tile bound dominates F(p, 2r)[t]); distinct
-  // types accumulate. Independently, the deficit is at least
-  // total(released) - total_bound. When either already exceeds the
-  // configured tolerance, the tolerant test below must fail. Probing more
+  // Exact tolerant prune (AttackContext::tolerant_prune). Probing more
   // types than the exact attacks do (kPruneTypes = 6) pays off here
   // because a single rare-type shortfall is tolerated, not disqualifying.
   constexpr std::size_t kPruneTypes = 6;
   const std::vector<poi::TypeId> rare =
-      rare_present_types(*db_, released, kPruneTypes);
-  const auto pruned = [&](const poi::TileAggregates::Window& win) {
-    int violations = 0;
-    std::int64_t deficit = 0;
-    for (const poi::TypeId t : rare) {
-      const std::int32_t bound = win.type_bound(t);
-      if (bound < released[t]) {
-        ++violations;
-        deficit += released[t] - bound;
-      }
-    }
-    if (violations > config_.max_violations || deficit > config_.max_deficit) {
-      return true;
-    }
-    return win.total_bound() + config_.max_deficit < released_total;
-  };
-  poi::FrequencyVector around;  // reused across every candidate
+      ctx_.rare_present_types(released, kPruneTypes);
   std::vector<geo::Point> votes;
   for (const poi::TypeId pivot : pivots) {
     std::vector<geo::Point> candidates;
-    for (const poi::PoiId id : db_->pois_of_type(pivot)) {
-      const geo::Point pos = db_->poi(id).pos;
-      if (pruned(tiles.window(pos, 2.0 * r))) continue;
-      db_->freq_into(pos, 2.0 * r, around);
+    for (const poi::PoiId id : ctx_.candidates_of_type(pivot)) {
+      const geo::Point pos = ctx_.db().poi(id).pos;
+      if (AttackContext::tolerant_prune(ctx_.window(pos, 2.0 * r), released,
+                                        rare, config_.max_violations,
+                                        config_.max_deficit, released_total)) {
+        continue;
+      }
+      // Scratch row, consumed immediately by the tolerant test below.
+      const std::span<const std::int32_t> around =
+          ctx_.freq_scratch(pos, 2.0 * r);
       if (dominates_tolerant(around, released, config_.max_violations,
                              config_.max_deficit)) {
         candidates.push_back(pos);

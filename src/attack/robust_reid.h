@@ -51,7 +51,7 @@ bool dominates_tolerant(std::span<const std::int32_t> a,
 class RobustReidentifier {
  public:
   RobustReidentifier(const poi::PoiDatabase& db, RobustReidConfig config = {})
-      : db_(&db), config_(config) {}
+      : ctx_(db), config_(config) {}
 
   RobustReidResult infer(const poi::FrequencyVector& released, double r) const;
 
@@ -61,7 +61,7 @@ class RobustReidentifier {
                double r) const noexcept;
 
  private:
-  const poi::PoiDatabase* db_;
+  AttackContext ctx_;
   RobustReidConfig config_;
 };
 

@@ -1,6 +1,7 @@
 #include "attack/trajectory_attack.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "traj/trajectory.h"
@@ -24,16 +25,18 @@ TrajectoryAttack::TrajectoryAttack(const poi::PoiDatabase& db,
                                    double r,
                                    const TrajectoryAttackConfig& config,
                                    common::Rng& rng)
-    : db_(&db), r_(r), reid_(db), regressor_(config.svr) {
-  // Feature/target corpus from the attacker's historical pairs.
+    : ctx_(db), r_(r), reid_(db), regressor_(config.svr) {
+  // Feature/target corpus from the attacker's historical pairs. Both
+  // endpoint aggregates of a pair land in the thread's scratch arena and
+  // are consumed by make_features before the next fill.
   ml::Matrix x;
   std::vector<double> y;
   y.reserve(history.size());
-  poi::FrequencyVector f1, f2;  // reused across the whole corpus
   for (const traj::ReleasePair& pair : history) {
-    db.freq_into(pair.first, r, f1);
-    db.freq_into(pair.second, r, f2);
-    x.push_row(make_features(f1, f2, pair.first_time, pair.second_time));
+    const std::array<geo::Point, 2> endpoints{pair.first, pair.second};
+    const poi::FreqArena& arena = ctx_.freq_batch_scratch(endpoints, r);
+    x.push_row(make_features(arena.row(0), arena.row(1), pair.first_time,
+                             pair.second_time));
     y.push_back(pair.distance_km());
   }
 
@@ -74,7 +77,7 @@ PairInferenceResult TrajectoryAttack::infer(const poi::FrequencyVector& f1,
     return result;
   }
   for (const poi::PoiId a : result.first.candidates) {
-    const geo::Point pa = db_->poi(a).pos;
+    const geo::Point pa = ctx_.db().poi(a).pos;
     const bool consistent = std::any_of(
         result.second.candidates.begin(), result.second.candidates.end(),
         [&](poi::PoiId b) {
@@ -82,7 +85,7 @@ PairInferenceResult TrajectoryAttack::infer(const poi::FrequencyVector& f1,
           // distance deviates from the travelled distance by at most 2r;
           // typical deviations are near r, and the empty-filter fallback
           // below makes the tighter bound safe.
-          return std::abs(geo::distance(pa, db_->poi(b).pos) -
+          return std::abs(geo::distance(pa, ctx_.db().poi(b).pos) -
                           result.estimated_distance_km) <=
                  tolerance_ + r_;
         });

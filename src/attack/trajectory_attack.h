@@ -14,6 +14,7 @@
 
 #include <span>
 
+#include "attack/attack_context.h"
 #include "attack/region_reid.h"
 #include "common/rng.h"
 #include "ml/dataset.h"
@@ -65,7 +66,7 @@ class TrajectoryAttack {
                                     traj::TimeSec t1,
                                     traj::TimeSec t2) const;
 
-  const poi::PoiDatabase* db_;
+  AttackContext ctx_;
   double r_;
   RegionReidentifier reid_;
   ml::StandardScaler scaler_;

@@ -41,9 +41,11 @@ std::vector<double> DpDefense::noised_mean(geo::Point location, double r,
                                            common::Rng& rng) const {
   const std::vector<geo::Point> dummies =
       cloaker_->dummy_locations(location, config_.k, rng);
-  // Per-thread arena: the k dummy aggregates land in one reusable buffer,
-  // so steady-state releases allocate nothing for the frequency queries.
-  static thread_local poi::FreqArena arena;
+  // Shared per-thread scratch (see poi::scratch_arena): the k dummy
+  // aggregates land in one reusable buffer, so steady-state releases
+  // allocate nothing for the frequency queries. Consumed fully below,
+  // before any other component can refill the arena.
+  poi::FreqArena& arena = poi::scratch_arena();
   db_->freq_batch(dummies, r, arena);
 
   const std::size_t m = db_->num_types();

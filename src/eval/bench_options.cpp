@@ -1,0 +1,76 @@
+#include "eval/bench_options.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+namespace poiprivacy::eval {
+
+namespace {
+
+std::vector<std::string> known_flags(std::vector<std::string> extra_flags) {
+  std::vector<std::string> known{"seed", "locations", "full",
+                                 common::Flags::kThreadsFlag,
+                                 common::Flags::kMetricsFlag};
+  known.insert(known.end(), std::make_move_iterator(extra_flags.begin()),
+               std::make_move_iterator(extra_flags.end()));
+  return known;
+}
+
+/// Flags members are built in the initializer list, so the unknown-flag
+/// rejection lives in this factory: the parser's std::invalid_argument
+/// (naming the offending flag) becomes a clean stderr message + exit 2
+/// instead of an uncaught-exception abort.
+common::Flags parse_or_exit(int argc, const char* const* argv,
+                            const std::vector<std::string>& known) {
+  try {
+    return common::Flags(argc, argv, known);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << "\n"
+              << common::Flags(0, nullptr, known).usage(
+                     argc > 0 ? argv[0] : "poibench");
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+BenchOptions::BenchOptions(int argc, const char* const* argv,
+                           std::vector<std::string> extra_flags)
+    : flags(parse_or_exit(argc, argv, known_flags(std::move(extra_flags)))) {
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    std::exit(0);
+  }
+  seed = static_cast<std::uint64_t>(
+      flags.get("seed", static_cast<std::int64_t>(42)));
+  full = flags.get("full", false);
+  locations = static_cast<std::size_t>(
+      flags.get("locations", static_cast<std::int64_t>(full ? 1000 : 250)));
+  threads = flags.apply_threads_flag();
+  flags.apply_metrics_flag();
+}
+
+WorkbenchConfig BenchOptions::workbench_config() const {
+  WorkbenchConfig config;
+  config.seed = seed;
+  config.locations_per_dataset = locations;
+  if (full) {
+    config.num_taxis = 400;
+    config.points_per_taxi = 80;
+    config.num_checkin_users = 400;
+    config.checkins_per_user = 60;
+  }
+  return config;
+}
+
+void BenchOptions::print_context(const std::string& what) const {
+  std::cout << what << "\n";
+  std::cout << "   seed=" << seed << " locations=" << locations
+            << " threads=" << threads
+            << (full ? " (paper-scale --full run)" : " (reduced default run)")
+            << "\n";
+}
+
+}  // namespace poiprivacy::eval

@@ -1,0 +1,46 @@
+#include "eval/scenario.h"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace poiprivacy::eval {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (find(scenario.name) != nullptr) {
+    throw std::invalid_argument("duplicate scenario: " + scenario.name);
+  }
+  if (!scenario.run) {
+    throw std::invalid_argument("scenario without a run function: " +
+                                scenario.name);
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+int ScenarioRegistry::run_main(std::string_view name, int argc,
+                               const char* const* argv) const {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
+    std::cerr << "error: unknown scenario: " << name << "\n"
+              << "known scenarios:\n";
+    for (const Scenario& s : scenarios_) {
+      std::cerr << "  " << s.name << "\n";
+    }
+    return 2;
+  }
+  const BenchOptions options(argc, argv, scenario->extra_flags);
+  return scenario->run(options);
+}
+
+}  // namespace poiprivacy::eval

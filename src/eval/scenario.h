@@ -1,0 +1,73 @@
+// ScenarioRegistry — the figure/ablation benchmarks as first-class data.
+//
+// Every `bench/fig*` and `ablation_*` main used to be a standalone binary
+// with copy-pasted flag plumbing. Each is now a registered Scenario: a
+// name, a description, the extra flags it understands, and a run function
+// over eval::BenchOptions. One driver binary (`poibench`) lists and runs
+// them (`--list`, `--scenario NAME`, `--all --smoke`), the per-figure
+// executables are two-line shims over run_main, and the test suite drives
+// the same entry points — so the scenario catalog, the CLI surface, and
+// the golden coverage can no longer drift apart.
+//
+// Registration is explicit (bench/scenarios/register_all_scenarios), not
+// static-initializer magic: scenarios live in a static library, where
+// self-registering translation units would be silently dropped by the
+// linker.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/bench_options.h"
+
+namespace poiprivacy::eval {
+
+struct Scenario {
+  /// Registry key, also the legacy binary's name (e.g. "fig05_kcloak").
+  std::string name;
+  /// One-line summary shown by `poibench --list`.
+  std::string description;
+  /// Flags this scenario reads beyond the common set (BenchOptions adds
+  /// seed/locations/full/threads/metrics/help itself).
+  std::vector<std::string> extra_flags;
+  /// Canonical tiny-city argument list for smoke runs: small enough for
+  /// the regression gate to run every scenario at several thread counts,
+  /// pinned to a fixed seed so outputs are comparable across builds.
+  std::vector<std::string> smoke_args;
+  /// True when stdout is a pure function of the flags (figure tables).
+  /// False for timing benchmarks, which `--all` therefore skips.
+  bool deterministic = true;
+  /// The scenario body; returns the process exit code.
+  std::function<int(const BenchOptions&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry.
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario. Throws std::invalid_argument on a duplicate
+  /// name — two scenarios answering to one key is always a merge mistake.
+  void add(Scenario scenario);
+
+  /// Looks up a scenario by name; nullptr when absent.
+  const Scenario* find(std::string_view name) const noexcept;
+
+  /// All scenarios in registration order.
+  const std::vector<Scenario>& all() const noexcept { return scenarios_; }
+
+  /// Runs one scenario as if it were a standalone binary: parses argv
+  /// with the scenario's extra flags (so `--help` and unknown-flag
+  /// rejection behave exactly like the legacy executables) and invokes
+  /// run. Unknown scenario names print the known list to stderr and
+  /// return 2.
+  int run_main(std::string_view name, int argc,
+               const char* const* argv) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace poiprivacy::eval

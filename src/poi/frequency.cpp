@@ -136,6 +136,11 @@ void FreqArena::reset(std::size_t rows, std::size_t row_len) {
   data_.assign(rows * row_len, 0);  // keeps capacity
 }
 
+FreqArena& scratch_arena() noexcept {
+  static thread_local FreqArena arena;
+  return arena;
+}
+
 // ---- Scalar reference oracle ----------------------------------------------
 //
 // The original element-at-a-time implementations, kept verbatim so the

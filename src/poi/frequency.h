@@ -93,6 +93,21 @@ class FreqArena {
   std::size_t row_len_ = 0;
 };
 
+/// The process-wide per-thread scratch arena. One FreqArena per thread,
+/// created on first use and reused for the thread's lifetime, so every
+/// component that fills-and-consumes a batch of frequency rows inside one
+/// call (the attacks' candidate scans, DpDefense::noised_mean, the release
+/// service's Phase-D aggregation) shares a single steady-state buffer
+/// instead of growing a private `static thread_local` arena each.
+///
+/// Lifetime contract: the pool workers of common::global_pool() live for
+/// the whole process, so after warmup no scratch call allocates. The
+/// arena's contents (and any row span taken from it) are valid only until
+/// the next scratch_arena()-based fill on the same thread — treat it as a
+/// register, not a cache: fill it, consume it, and never hold a row across
+/// a call into another component that might also use the scratch arena.
+FreqArena& scratch_arena() noexcept;
+
 /// The pre-kernel scalar implementations, kept as the reference oracle
 /// for the vectorized kernels (property tests compare the two on random
 /// inputs). Not for production call sites.

@@ -173,12 +173,13 @@ CloakAggregate ReleaseService::compute_aggregate(
   aggregate.k = dummies.size();
   aggregate.sum.assign(m, 0.0);
   aggregate.sensitivity.assign(m, 0.0);
-  // Per-thread arena (compute_aggregate runs on pool workers in Phase D):
-  // the k dummy aggregates land in one reusable buffer, so steady-state
-  // batches allocate nothing for the frequency queries. The per-type
-  // additions keep their ascending-dummy order, so the sums match the old
+  // Shared per-thread scratch (compute_aggregate runs on pool workers in
+  // Phase D; see poi::scratch_arena for the lifetime contract): the k
+  // dummy aggregates land in one reusable buffer, so steady-state batches
+  // allocate nothing for the frequency queries. The per-type additions
+  // keep their ascending-dummy order, so the sums match the old
   // vector-at-a-time loop bit-for-bit.
-  static thread_local poi::FreqArena arena;
+  poi::FreqArena& arena = poi::scratch_arena();
   db_->freq_batch(dummies, key.radius, arena);
   for (std::size_t d = 0; d < arena.rows(); ++d) {
     const std::span<const std::int32_t> row = arena.row(d);
