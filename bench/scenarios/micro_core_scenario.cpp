@@ -52,7 +52,11 @@ geo::Point location_for(std::int64_t i) {
 // Vector lengths are the real per-city type counts: 177 (Beijing preset)
 // and 272 (NYC preset). The pair corpus mixes near-dominating rows (as
 // the reid scan sees for surviving candidates) with independent rows (the
-// common, quickly-violated case).
+// common, quickly-violated case). The corpus is sized to stay L1-resident
+// at both lengths (16 pairs x 2 x 272 x 4 B ~= 35 KB): the attack loops
+// these rows model scan one released vector against anchor-cache entries
+// that stay hot across thousands of probes, so the kernel rows should
+// measure kernel speed, not L2 streaming bandwidth.
 struct KernelCorpus {
   std::vector<poi::FrequencyVector> as, bs;
 };
@@ -64,7 +68,8 @@ const KernelCorpus& kernel_corpus(std::size_t m) {
   }
   common::Rng rng(977 + m);
   KernelCorpus corpus;
-  constexpr std::size_t kPairs = 64;
+  constexpr std::size_t kPairs = 16;
+  static_assert((kPairs & (kPairs - 1)) == 0, "rotation masks require 2^k");
   for (std::size_t p = 0; p < kPairs; ++p) {
     poi::FrequencyVector a(m), b(m);
     const bool near = p % 2 == 0;
@@ -96,7 +101,10 @@ template <typename Fn>
 void emit_bench(eval::JsonWriter& json, const std::string& name,
                 std::size_t reps, std::size_t iters, Fn&& op) {
   using Clock = std::chrono::steady_clock;
-  for (std::size_t warm = 0; warm < iters / 4 + 1; ++warm) op();
+  // One full repetition of warm-up: a quarter-rep left the first timed
+  // repetition visibly colder than the rest (caches, branch predictors,
+  // lazily built structures), skewing the p95/p99 of short runs.
+  for (std::size_t warm = 0; warm < iters; ++warm) op();
 
   std::vector<double> per_op_ns;
   per_op_ns.reserve(reps);
@@ -147,6 +155,8 @@ int run_micro_core_json(const std::string& path, bool smoke) {
   json.begin_object();
   json.field("bench", "micro_core");
   json.field("mode", smoke ? "smoke" : "full");
+  json.field("kernel_tier",
+             std::string(poi::kernel_tier_name(poi::active_kernel_tier())));
   json.key("results");
   json.begin_array();
 
@@ -154,14 +164,18 @@ int run_micro_core_json(const std::string& path, bool smoke) {
     const KernelCorpus& c = kernel_corpus(m);
     const std::string tag = "_" + std::to_string(m);
     const std::size_t pairs = c.as.size();
+    // kPairs is a power of two, so the per-call corpus rotation is a mask
+    // (an integer divide would cost as much as a short kernel call).
+    const std::size_t pair_mask = pairs - 1;
+    const std::size_t half_mask = pairs / 2 - 1;
     std::size_t i = 0;
 
     // Even corpus indices are near-dominating pairs (the scalar loop must
     // scan the whole row — the regime the straight-line kernel targets);
     // odd indices are independent pairs violated almost immediately (the
     // regime dominates_early_exit targets).
-    const auto pass_pair = [&] { return 2 * (i++ % (pairs / 2)); };
-    const auto fail_pair = [&] { return 2 * (i++ % (pairs / 2)) + 1; };
+    const auto pass_pair = [&] { return 2 * (i++ & half_mask); };
+    const auto fail_pair = [&] { return 2 * (i++ & half_mask) + 1; };
     emit_bench(json, "scalar_dominates_pass" + tag, kernel_reps, kernel_iters,
                [&] {
                  const std::size_t p = pass_pair();
@@ -184,39 +198,65 @@ int run_micro_core_json(const std::string& path, bool smoke) {
                });
     emit_bench(json, "scalar_l1_distance" + tag, kernel_reps, kernel_iters,
                [&] {
-                 const std::size_t p = i++ % pairs;
+                 const std::size_t p = i++ & pair_mask;
                  keep(poi::scalar_ref::l1_distance(c.as[p], c.bs[p]));
                });
     emit_bench(json, "kernel_l1_distance" + tag, kernel_reps, kernel_iters,
                [&] {
-                 const std::size_t p = i++ % pairs;
+                 const std::size_t p = i++ & pair_mask;
                  keep(poi::l1_distance(c.as[p], c.bs[p]));
                });
     emit_bench(json, "scalar_total" + tag, kernel_reps, kernel_iters, [&] {
-      keep(poi::scalar_ref::total(c.as[i++ % pairs]));
+      keep(poi::scalar_ref::total(c.as[i++ & pair_mask]));
     });
     emit_bench(json, "kernel_total" + tag, kernel_reps, kernel_iters, [&] {
-      keep(poi::total(c.as[i++ % pairs]));
+      keep(poi::total(c.as[i++ & pair_mask]));
     });
     poi::FrequencyVector diff_out(m);
     emit_bench(json, "scalar_diff" + tag, kernel_reps, kernel_iters, [&] {
-      const std::size_t p = i++ % pairs;
+      const std::size_t p = i++ & pair_mask;
       keep(poi::scalar_ref::diff(c.as[p], c.bs[p]));
     });
     emit_bench(json, "kernel_diff_into" + tag, kernel_reps, kernel_iters,
                [&] {
-                 const std::size_t p = i++ % pairs;
+                 const std::size_t p = i++ & pair_mask;
                  poi::diff_into(c.as[p], c.bs[p], diff_out);
                  keep(diff_out.data());
                });
+    // Presence-fingerprint kernels: packing a row, and the word-parallel
+    // covers pre-check against the whole-vector presence scan it replaces.
+    const std::size_t words = poi::fingerprint_words(m);
+    std::vector<poi::FingerprintWord> fp_out(words);
+    emit_bench(json, "kernel_fp_pack" + tag, kernel_reps, kernel_iters, [&] {
+      poi::pack_fingerprint(c.as[i++ & pair_mask], fp_out);
+      keep(fp_out.data());
+    });
+    std::vector<poi::FingerprintWord> fps_a(words * pairs),
+        fps_b(words * pairs);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      poi::pack_fingerprint(c.as[p], {fps_a.data() + p * words, words});
+      poi::pack_fingerprint(c.bs[p], {fps_b.data() + p * words, words});
+    }
+    emit_bench(json, "scalar_presence_covers" + tag, kernel_reps,
+               kernel_iters, [&] {
+                 const std::size_t p = i++ & pair_mask;
+                 keep(poi::scalar_ref::presence_covers(c.as[p], c.bs[p]));
+               });
+    emit_bench(json, "kernel_fp_covers" + tag, kernel_reps, kernel_iters,
+               [&] {
+                 const std::size_t p = i++ & pair_mask;
+                 keep(poi::fingerprint_covers(
+                     {fps_a.data() + p * words, words},
+                     {fps_b.data() + p * words, words}));
+               });
     emit_bench(json, "scalar_topk_jaccard" + tag, kernel_reps,
                kernel_iters / 10 + 1, [&] {
-                 const std::size_t p = i++ % pairs;
+                 const std::size_t p = i++ & pair_mask;
                  keep(poi::scalar_ref::top_k_jaccard(c.as[p], c.bs[p], 10));
                });
     emit_bench(json, "kernel_topk_jaccard" + tag, kernel_reps,
                kernel_iters / 10 + 1, [&] {
-                 const std::size_t p = i++ % pairs;
+                 const std::size_t p = i++ & pair_mask;
                  keep(poi::top_k_jaccard(c.as[p], c.bs[p], 10));
                });
   }

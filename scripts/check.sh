@@ -10,7 +10,17 @@
 #      the printed thread count is normalized away),
 #   5. a Release-build bench smoke: the micro_core --json suite (through
 #      the poibench driver) must run whole and emit parseable JSON
-#      (catches perf harness rot without paying for a full bench run).
+#      (catches perf harness rot without paying for a full bench run),
+#   6. the kernel-dispatch gate: the tier-1 suite re-runs with
+#      POIPRIVACY_KERNEL=scalar (the portable tier must carry the whole
+#      suite, not just the property tests), and poibench --all --smoke
+#      must emit byte-identical output under the scalar and the native
+#      tier at --threads 1/2/8 — SIMD is an implementation detail,
+#      never an observable one,
+#   7. an Address+UB-Sanitizer build running the kernel, fingerprint and
+#      tile-window property suites under both the native and the scalar
+#      tier (the explicit SIMD kernels read memory in 32-byte gulps;
+#      ASan/UBSan prove the tails stay in bounds).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -18,20 +28,20 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/5] plain build + tier-1 tests =="
+echo "== [1/7] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/5] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/7] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/5] metrics determinism at --threads 1/2/8 =="
+echo "== [3/7] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
 
-echo "== [4/5] poibench --all --smoke determinism at --threads 1/8 =="
+echo "== [4/7] poibench --all --smoke determinism at --threads 1/8 =="
 cmake --build build -j "$jobs" --target poibench
 smoke_t1="$(mktemp)"
 smoke_t8="$(mktemp)"
@@ -43,7 +53,7 @@ diff -u "$smoke_t1" "$smoke_t8"
 echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8"
 rm -f "$smoke_t1" "$smoke_t8"
 
-echo "== [5/5] Release bench smoke =="
+echo "== [5/7] Release bench smoke =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" --target poibench
 smoke_json="$(mktemp)"
@@ -57,5 +67,34 @@ assert doc['bench'] == 'micro_core' and doc['results'], 'empty bench output'
 print('bench smoke:', len(doc['results']), 'benchmarks ran')
 "
 rm -f "$smoke_json"
+
+echo "== [6/7] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
+(cd build && POIPRIVACY_KERNEL=scalar ctest -L tier1 --output-on-failure -j "$jobs")
+for threads in 1 2 8; do
+  smoke_scalar="$(mktemp)"
+  smoke_native="$(mktemp)"
+  POIPRIVACY_KERNEL=scalar ./build/bench/poibench --all --smoke \
+    --threads "$threads" 2>/dev/null > "$smoke_scalar"
+  ./build/bench/poibench --all --smoke --threads "$threads" 2>/dev/null \
+    > "$smoke_native"
+  diff -u "$smoke_scalar" "$smoke_native"
+  rm -f "$smoke_scalar" "$smoke_native"
+  echo "poibench smoke: scalar == native tier at --threads $threads"
+done
+
+echo "== [7/7] ASan/UBSan build + kernel property suites per tier =="
+cmake -B build-asan -S . -DPOIPRIVACY_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$jobs" --target \
+  kernel_property_test fingerprint_property_test tile_window_property_test
+for tier in native scalar; do
+  env_prefix=()
+  [ "$tier" = scalar ] && env_prefix=(env POIPRIVACY_KERNEL=scalar)
+  for suite in kernel_property_test fingerprint_property_test \
+               tile_window_property_test; do
+    "${env_prefix[@]}" "./build-asan/tests/$suite" \
+      --gtest_brief=1 >/dev/null
+    echo "asan: $suite clean under $tier tier"
+  done
+done
 
 echo "check.sh: all gates passed"

@@ -4,25 +4,48 @@
 
 namespace poiprivacy::attack {
 
+namespace {
+
+// Stack budget for packing a release's presence bits in the noexcept,
+// allocation-free scans below: 16 words cover 1024 POI types, far above
+// any real registry (the paper's cities top out at M = 272). Larger
+// vectors fall back to the plain per-type loop.
+constexpr std::size_t kMaxStackWords = 16;
+
+}  // namespace
+
 std::size_t AttackContext::rarest_present(
     std::span<const std::int32_t> released, std::span<poi::TypeId> out,
     std::optional<poi::TypeId> skip) const noexcept {
   const poi::FrequencyVector& city = db_->city_freq();
   std::size_t n = 0;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] <= 0) continue;
-    if (skip && t == *skip) continue;
+  const auto consider = [&](poi::TypeId t) {
+    if (skip && t == *skip) return;
     std::size_t pos = n;
     while (pos > 0 && (city[t] < city[out[pos - 1]] ||
                        (city[t] == city[out[pos - 1]] && t < out[pos - 1]))) {
       --pos;
     }
-    if (pos >= out.size()) continue;
+    if (pos >= out.size()) return;
     for (std::size_t j = std::min(n, out.size() - 1); j > pos; --j) {
       out[j] = out[j - 1];
     }
     out[pos] = t;
     if (n < out.size()) ++n;
+  };
+  const std::size_t words = poi::fingerprint_words(released.size());
+  if (words <= kMaxStackWords) {
+    // Word-parallel scan: pack the presence bits once (SIMD under the
+    // active kernel tier), then visit only the set bits. Bits come out
+    // in ascending type id, exactly like the plain loop, so the filled
+    // prefix is unchanged.
+    poi::FingerprintWord fp[kMaxStackWords];
+    poi::pack_fingerprint(released, {fp, words});
+    poi::for_each_present_type({fp, words}, consider);
+  } else {
+    for (poi::TypeId t = 0; t < released.size(); ++t) {
+      if (released[t] > 0) consider(t);
+    }
   }
   return n;
 }
@@ -39,8 +62,17 @@ std::vector<poi::TypeId> AttackContext::rare_present_types(
     std::optional<poi::TypeId> skip) const {
   const poi::FrequencyVector& city = db_->city_freq();
   std::vector<poi::TypeId> present;
-  for (poi::TypeId t = 0; t < released.size(); ++t) {
-    if (released[t] > 0 && (!skip || t != *skip)) present.push_back(t);
+  const std::size_t words = poi::fingerprint_words(released.size());
+  if (words <= kMaxStackWords) {
+    poi::FingerprintWord fp[kMaxStackWords];
+    poi::pack_fingerprint(released, {fp, words});
+    poi::for_each_present_type({fp, words}, [&](poi::TypeId t) {
+      if (!skip || t != *skip) present.push_back(t);
+    });
+  } else {
+    for (poi::TypeId t = 0; t < released.size(); ++t) {
+      if (released[t] > 0 && (!skip || t != *skip)) present.push_back(t);
+    }
   }
   const std::size_t keep = std::min(max_n, present.size());
   std::partial_sort(present.begin(),
@@ -51,6 +83,41 @@ std::vector<poi::TypeId> AttackContext::rare_present_types(
                     });
   present.resize(keep);
   return present;
+}
+
+AttackContext::BatchedEnvelope::BatchedEnvelope(
+    const AttackContext& ctx, double radius,
+    std::span<const std::int32_t> released, std::span<const poi::TypeId> rare)
+    : ctx_(&ctx),
+      tiles_(&ctx.tiles()),
+      radius_(radius),
+      released_(released),
+      rare_(rare),
+      tile_verdict_(static_cast<std::size_t>(tiles_->nx()) * tiles_->ny(),
+                    kUnknown) {}
+
+bool AttackContext::BatchedEnvelope::pruned(geo::Point pos) {
+  const poi::TileAggregates::Tile tile = tiles_->tile_of(pos);
+  std::int8_t& verdict =
+      tile_verdict_[static_cast<std::size_t>(tile.iy) * tiles_->nx() + tile.ix];
+  if (verdict == kUnknown) {
+    verdict = exact_prune(tiles_->tile_window(tile.ix, tile.iy, radius_),
+                          released_, rare_)
+                  ? kPruned
+                  : kPass;
+  }
+  // Coarse shortfall implies every member candidate's own shortfall, so
+  // returning true here matches what the per-candidate probe would say.
+  if (verdict == kPruned) return true;
+  return exact_prune(ctx_->window(pos, radius_), released_, rare_);
+}
+
+void AttackContext::BatchedEnvelope::prune_batch(
+    std::span<const poi::PoiId> candidates,
+    std::vector<poi::PoiId>& survivors) {
+  for (const poi::PoiId id : candidates) {
+    if (!pruned(ctx_->db().poi(id).pos)) survivors.push_back(id);
+  }
 }
 
 }  // namespace poiprivacy::attack

@@ -80,6 +80,23 @@ class AttackContext {
     return db_->anchor_freq(id, radius);
   }
 
+  /// Exact dominance test of a cached anchor aggregate against a
+  /// release: the anchor's stored bit-packed fingerprint must cover the
+  /// released one (a handful of word-parallel AND-NOTs) before the full
+  /// per-type scan runs. The fingerprint rejection is exact — a type
+  /// present in the release but absent around the anchor already
+  /// violates dominance — so the result equals
+  /// dominates(anchor_freq(id, radius), released) bit-for-bit.
+  /// `released_fp` is pack_fingerprint(released), packed once per infer.
+  bool anchor_dominates(poi::PoiId id, double radius,
+                        std::span<const std::int32_t> released,
+                        std::span<const poi::FingerprintWord> released_fp)
+      const {
+    const poi::AnchorAggregate& anchor = db_->anchor_aggregate(id, radius);
+    if (!poi::fingerprint_covers(anchor.fp, released_fp)) return false;
+    return poi::dominates(anchor.freq, released);
+  }
+
   // ---- Pivot / rarest-present scan ----------------------------------------
 
   /// One allocation-free pass over `released` filling out[0..n) with the
@@ -197,6 +214,52 @@ class AttackContext {
     bool enabled_;
     int probed_ = 0;
     int rejected_ = 0;
+  };
+
+  /// BatchedEnvelope — one coarse tile verdict shared by every candidate
+  /// that bins into the same tile.
+  ///
+  /// Candidate loops probe the same rare-type bounds for thousands of
+  /// candidates, and candidates cluster spatially, so most probes hit a
+  /// tile that has already been judged. The envelope memoizes one coarse
+  /// verdict per tile using tile_window(), whose bounds dominate every
+  /// member candidate's own window bounds:
+  ///
+  ///   * coarse PRUNED -> every member's own exact_prune would fire too
+  ///     (a coarse shortfall implies a per-candidate shortfall), so the
+  ///     whole tile is rejected by one probe set;
+  ///   * coarse PASS   -> fall back to the member's own per-candidate
+  ///     window, so survivor sets — and the AdaptiveGate::record
+  ///     sequence observed by callers — stay bit-identical to the
+  ///     unbatched loop.
+  ///
+  /// Holds views of `released` and `rare`; the caller keeps them alive
+  /// for the envelope's lifetime.
+  class BatchedEnvelope {
+   public:
+    BatchedEnvelope(const AttackContext& ctx, double radius,
+                    std::span<const std::int32_t> released,
+                    std::span<const poi::TypeId> rare);
+
+    /// exact_prune() verdict for a candidate at `pos`; bit-identical to
+    /// exact_prune(ctx.window(pos, radius), released, rare).
+    bool pruned(geo::Point pos);
+
+    /// Appends the ids in `candidates` whose envelope passes to
+    /// `survivors`, preserving order — the same set a per-candidate
+    /// exact_prune loop keeps (pinned by
+    /// tests/tile_window_property_test.cpp).
+    void prune_batch(std::span<const poi::PoiId> candidates,
+                     std::vector<poi::PoiId>& survivors);
+
+   private:
+    enum : std::int8_t { kUnknown = -1, kPass = 0, kPruned = 1 };
+    const AttackContext* ctx_;
+    const poi::TileAggregates* tiles_;
+    double radius_;
+    std::span<const std::int32_t> released_;
+    std::span<const poi::TypeId> rare_;
+    std::vector<std::int8_t> tile_verdict_;  ///< one verdict per tile
   };
 
  private:

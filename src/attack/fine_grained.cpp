@@ -130,6 +130,11 @@ FineGrainedResult FineGrainedAttack::infer(
     return AttackContext::exact_prune_with_total(
         ctx_.window(pos, 2.0 * r), released, rare, released_total);
   };
+  // Presence bits of the release, packed once for the word-parallel
+  // pre-check inside anchor_dominates below.
+  std::vector<poi::FingerprintWord> released_fp(
+      poi::fingerprint_words(released.size()));
+  poi::pack_fingerprint(released, released_fp);
 
   FeasibleRegion region({anchor_pos, r}, config_.area_resolution);
   const auto consider = [&](poi::PoiId id) {
@@ -159,8 +164,9 @@ FineGrainedResult FineGrainedAttack::infer(
       for (const poi::PoiId id : by_type[t]) {
         if (result.aux_anchors.size() >= config_.max_aux) break;
         if (tile_pruned(db.poi(id).pos)) continue;
-        const poi::FrequencyVector& f_p = ctx_.anchor_freq(id, 2.0 * r);
-        if (poi::dominates(f_p, released)) consider(id);
+        if (ctx_.anchor_dominates(id, 2.0 * r, released, released_fp)) {
+          consider(id);
+        }
       }
     }
   }

@@ -25,6 +25,9 @@ FingerprintAttack::FingerprintAttack(const poi::PoiDatabase& db, double r,
     }
   }
   db.freq_batch(centers, envelope_radius, envelopes_);
+  // Presence bits per envelope row: infer() refutes most cells with a
+  // few word ops before paying for the per-type dominance scan.
+  envelopes_.pack_fingerprints();
 }
 
 geo::Point FingerprintAttack::cell_center(std::uint32_t cell) const {
@@ -40,8 +43,17 @@ FingerprintResult FingerprintAttack::infer(
   FingerprintResult result;
   double sum_x = 0.0;
   double sum_y = 0.0;
-  // Most cells fail dominance, so the early-exit variant wins here.
+  // Pack the release once; a cell whose presence bits fail to cover the
+  // release's cannot dominate it, so the word-parallel covers test
+  // rejects most cells before the per-type scan runs. Most survivors
+  // still fail dominance, so the early-exit variant finishes the job.
+  std::vector<poi::FingerprintWord> released_fp(
+      poi::fingerprint_words(released.size()));
+  poi::pack_fingerprint(released, released_fp);
   for (std::uint32_t cell = 0; cell < envelopes_.rows(); ++cell) {
+    if (!poi::fingerprint_covers(envelopes_.fingerprint(cell), released_fp)) {
+      continue;
+    }
     if (poi::dominates_early_exit(envelopes_.row(cell), released)) {
       result.feasible_cells.push_back(cell);
       const geo::Point c = cell_center(cell);

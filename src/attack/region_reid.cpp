@@ -26,21 +26,29 @@ ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
   // disk aggregation. The probed types skip the pivot (every candidate is
   // itself a pivot-type POI, so that bound can never fire). (A total-count
   // bound was measured to reject ~nothing the rare-type probes don't, so
-  // this hot loop does not pay for one.)
+  // this hot loop does not pay for one.) The envelope batches the probes:
+  // candidates sharing a tile share one coarse verdict, with the
+  // per-candidate window as the exact fallback, so the gate sees the same
+  // fired sequence as the unbatched loop.
   AttackContext::AdaptiveGate gate(!rare.empty());
+  AttackContext::BatchedEnvelope envelope(ctx_, 2.0 * r, released, rare);
+
+  // Pack the release's presence bits once; every anchor's fingerprint is
+  // cached alongside its vector, so the dominance scan below starts with
+  // a word-parallel covers pre-check.
+  std::vector<poi::FingerprintWord> released_fp(
+      poi::fingerprint_words(released.size()));
+  poi::pack_fingerprint(released, released_fp);
 
   for (const poi::PoiId candidate : ctx_.candidates_of_type(*result.pivot_type)) {
     if (gate.enabled()) {
-      const poi::TileAggregates::Window win =
-          ctx_.window(ctx_.db().poi(candidate).pos, 2.0 * r);
-      const bool fired = AttackContext::exact_prune(win, released, rare);
+      const bool fired = envelope.pruned(ctx_.db().poi(candidate).pos);
       gate.record(fired);
       if (fired) continue;
     }
     // Cached: the same anchors are probed at the same 2r for every
     // evaluated location, and this dominance scan is the attack's hot path.
-    const poi::FrequencyVector& around = ctx_.anchor_freq(candidate, 2.0 * r);
-    if (poi::dominates(around, released)) {
+    if (ctx_.anchor_dominates(candidate, 2.0 * r, released, released_fp)) {
       result.candidates.push_back(candidate);
     }
   }

@@ -58,7 +58,7 @@ struct PoiDatabase::AnchorCache {
   };
   struct Shard {
     std::shared_mutex mu;
-    std::unordered_map<Key, FrequencyVector, KeyHash> entries;
+    std::unordered_map<Key, AnchorAggregate, KeyHash> entries;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
   };
@@ -127,8 +127,8 @@ std::vector<PoiId> PoiDatabase::query(geo::Point center, double radius) const {
   return index_.query_disk(center, radius);
 }
 
-const FrequencyVector& PoiDatabase::anchor_freq(PoiId id,
-                                                double radius) const {
+const AnchorAggregate& PoiDatabase::anchor_aggregate(PoiId id,
+                                                     double radius) const {
   const AnchorCache::Key key{id, std::bit_cast<std::uint64_t>(radius)};
   AnchorCache::Shard& shard = anchor_cache_->shard_for(key);
   {
@@ -140,10 +140,14 @@ const FrequencyVector& PoiDatabase::anchor_freq(PoiId id,
       return it->second;
     }
   }
-  // Compute outside any lock; on a concurrent double-compute the loser
-  // discards its copy and counts a hit, so misses stay equal to the number
-  // of distinct keys no matter the interleaving.
-  FrequencyVector computed = freq(poi(id).pos, radius);
+  // Compute outside any lock (the fingerprint too, so the insertion
+  // critical section stays a move); on a concurrent double-compute the
+  // loser discards its copy and counts a hit, so misses stay equal to
+  // the number of distinct keys no matter the interleaving.
+  AnchorAggregate computed;
+  computed.freq = freq(poi(id).pos, radius);
+  computed.fp.resize(fingerprint_words(computed.freq.size()));
+  pack_fingerprint(computed.freq, computed.fp);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   const auto [it, inserted] =
       shard.entries.try_emplace(key, std::move(computed));

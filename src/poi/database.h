@@ -32,6 +32,16 @@ struct AnchorCacheStats {
                          const AnchorCacheStats&) = default;
 };
 
+/// A cached anchor aggregate: the frequency vector plus its bit-packed
+/// presence fingerprint, packed once at insertion so every dominance
+/// scan that probes this anchor gets the word-parallel pre-check for
+/// free (a candidate whose fingerprint fails to cover the released one
+/// cannot dominate it).
+struct AnchorAggregate {
+  FrequencyVector freq;
+  std::vector<FingerprintWord> fp;
+};
+
 class PoiDatabase {
  public:
   /// Takes ownership of the POI set. POI ids must equal their index.
@@ -66,14 +76,20 @@ class PoiDatabase {
   /// See poi/tile_aggregates.h for the envelope invariant.
   const TileAggregates& tile_aggregates() const;
 
-  /// Freq(poi(id).pos, radius) through a sharded, read-mostly cache. The
-  /// attacks' dominance pruning probes the same anchor POIs at the same
-  /// 2r radius for every evaluated location, so this is the hot path of
-  /// the whole evaluation. Thread-safe; entries are never evicted, so the
-  /// returned reference stays valid for the database's lifetime. A miss
-  /// is counted only by the thread that actually inserts the entry, so
-  /// misses == distinct (id, radius) keys regardless of thread count.
-  const FrequencyVector& anchor_freq(PoiId id, double radius) const;
+  /// Freq(poi(id).pos, radius) plus its presence fingerprint, through a
+  /// sharded, read-mostly cache. The attacks' dominance pruning probes
+  /// the same anchor POIs at the same 2r radius for every evaluated
+  /// location, so this is the hot path of the whole evaluation.
+  /// Thread-safe; entries are never evicted, so the returned reference
+  /// stays valid for the database's lifetime. A miss is counted only by
+  /// the thread that actually inserts the entry, so misses == distinct
+  /// (id, radius) keys regardless of thread count.
+  const AnchorAggregate& anchor_aggregate(PoiId id, double radius) const;
+
+  /// The frequency vector alone (anchor_aggregate's freq member).
+  const FrequencyVector& anchor_freq(PoiId id, double radius) const {
+    return anchor_aggregate(id, radius).freq;
+  }
 
   /// Snapshot of the anchor cache counters.
   AnchorCacheStats anchor_cache_stats() const noexcept;

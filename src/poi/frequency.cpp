@@ -5,21 +5,14 @@
 #include <cstdlib>
 #include <set>
 
+#include "poi/kernel_ops.h"
+
 namespace poiprivacy::poi {
 
-// ---- Vectorized kernels ---------------------------------------------------
+// ---- Dispatched kernels ---------------------------------------------------
 //
-// Written as straight-line index loops over raw spans so GCC/Clang emit
-// SIMD for them at -O2: comparisons fold into 0/1 lanes combined with |,
-// and the wide accumulators use widening adds. Semantics are exactly
-// those of scalar_ref:: below (the property suite enforces it).
-
-void diff_into(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
-               std::span<std::int32_t> out) noexcept {
-  assert(a.size() == b.size() && a.size() == out.size());
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
-}
+// The span shims live inline in frequency.h; only the allocating and
+// composite helpers need a translation unit.
 
 FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b) {
   FrequencyVector out(a.size());
@@ -27,64 +20,14 @@ FrequencyVector diff(const FrequencyVector& a, const FrequencyVector& b) {
   return out;
 }
 
-std::int64_t l1_distance(std::span<const std::int32_t> a,
-                         std::span<const std::int32_t> b) noexcept {
-  assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  // |a - b| as max(a,b) - min(a,b) keeps the lanes 32-bit (min/max/sub
-  // vectorize 4-8 wide; only the accumulate widens). The subtraction is
-  // done in uint32: the true difference always fits, so the wraparound
-  // arithmetic is exact even for INT32_MAX - INT32_MIN.
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::int32_t hi = a[i] > b[i] ? a[i] : b[i];
-    const std::int32_t lo = a[i] > b[i] ? b[i] : a[i];
-    acc += static_cast<std::uint32_t>(hi) - static_cast<std::uint32_t>(lo);
-  }
-  return static_cast<std::int64_t>(acc);
-}
-
-bool dominates(std::span<const std::int32_t> a,
-               std::span<const std::int32_t> b) noexcept {
-  assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  std::int32_t violated = 0;
-  for (std::size_t i = 0; i < n; ++i) violated |= (a[i] < b[i]);
-  return violated == 0;
-}
-
-bool dominates_early_exit(std::span<const std::int32_t> a,
-                          std::span<const std::int32_t> b) noexcept {
-  assert(a.size() == b.size());
-  constexpr std::size_t kBlock = 64;
-  const std::size_t n = a.size();
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    std::int32_t violated = 0;
-    for (std::size_t j = i; j < i + kBlock; ++j) violated |= (a[j] < b[j]);
-    if (violated) return false;
-  }
-  std::int32_t violated = 0;
-  for (; i < n; ++i) violated |= (a[i] < b[i]);
-  return violated == 0;
-}
-
-std::int64_t total(std::span<const std::int32_t> f) noexcept {
-  const std::size_t n = f.size();
-  std::int64_t acc = 0;
-  for (std::size_t i = 0; i < n; ++i) acc += f[i];
-  return acc;
-}
-
 std::vector<TypeId> top_k_types(std::span<const std::int32_t> f,
                                 std::size_t k) {
-  std::size_t positive = 0;
-  for (std::size_t i = 0; i < f.size(); ++i) positive += (f[i] > 0);
-  std::vector<TypeId> ids;
-  ids.reserve(positive);
-  for (TypeId t = 0; t < f.size(); ++t) {
-    if (f[t] > 0) ids.push_back(t);
-  }
+  // The survivor collection is the dispatched kernel (8 lanes fold into
+  // one movemask on AVX2); the tiny partial sort below runs on whatever
+  // it yields.
+  std::vector<TypeId> ids(f.size());
+  ids.resize(detail::active_kernel_ops().collect_positive(f.data(), f.size(),
+                                                          ids.data()));
   const std::size_t keep = std::min(k, ids.size());
   std::partial_sort(ids.begin(),
                     ids.begin() + static_cast<std::ptrdiff_t>(keep), ids.end(),
@@ -134,6 +77,16 @@ void FreqArena::reset(std::size_t rows, std::size_t row_len) {
   rows_ = rows;
   row_len_ = row_len;
   data_.assign(rows * row_len, 0);  // keeps capacity
+  has_fingerprints_ = false;
+}
+
+void FreqArena::pack_fingerprints() {
+  const std::size_t words = fingerprint_words(row_len_);
+  fingerprints_.resize(rows_ * words);  // keeps capacity
+  for (std::size_t i = 0; i < rows_; ++i) {
+    pack_fingerprint(row(i), {fingerprints_.data() + i * words, words});
+  }
+  has_fingerprints_ = true;
 }
 
 FreqArena& scratch_arena() noexcept {
@@ -210,6 +163,23 @@ double top_k_jaccard(const FrequencyVector& original,
   const auto a = top_k_types(original, k);
   const auto b = top_k_types(protected_vec, k);
   return jaccard(a, b);
+}
+
+std::vector<FingerprintWord> pack_fingerprint(const FrequencyVector& f) {
+  std::vector<FingerprintWord> out(fingerprint_words(f.size()), 0);
+  for (std::size_t t = 0; t < f.size(); ++t) {
+    if (f[t] > 0) out[t / 64] |= FingerprintWord{1} << (t % 64);
+  }
+  return out;
+}
+
+bool presence_covers(const FrequencyVector& a,
+                     const FrequencyVector& b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t t = 0; t < b.size(); ++t) {
+    if (b[t] > 0 && a[t] <= 0) return false;
+  }
+  return true;
 }
 
 }  // namespace scalar_ref

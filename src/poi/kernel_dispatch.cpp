@@ -1,0 +1,156 @@
+// Tier resolution and the live dispatch pointer for the frequency
+// kernels. See poi/kernel_tiers.h for the selection contract.
+#include "poi/kernel_tiers.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "poi/kernel_ops.h"
+
+namespace poiprivacy::poi {
+
+namespace {
+
+const detail::KernelOps* ops_for(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return &detail::scalar_kernel_ops();
+    case KernelTier::kAvx2:
+#ifdef POIPRIVACY_HAVE_AVX2_TIER
+      return &detail::avx2_kernel_ops();
+#else
+      return nullptr;
+#endif
+    case KernelTier::kNeon:
+#ifdef POIPRIVACY_HAVE_NEON_TIER
+      return &detail::neon_kernel_ops();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool tier_usable(KernelTier tier) noexcept {
+  if (tier == KernelTier::kScalar) return true;
+#ifdef POIPRIVACY_HAVE_AVX2_TIER
+  if (tier == KernelTier::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+#endif
+#ifdef POIPRIVACY_HAVE_NEON_TIER
+  if (tier == KernelTier::kNeon) return true;  // baseline on AArch64
+#endif
+  return false;
+}
+
+KernelTier best_available() noexcept {
+#ifdef POIPRIVACY_HAVE_NEON_TIER
+  if (tier_usable(KernelTier::kNeon)) return KernelTier::kNeon;
+#endif
+#ifdef POIPRIVACY_HAVE_AVX2_TIER
+  if (tier_usable(KernelTier::kAvx2)) return KernelTier::kAvx2;
+#endif
+  return KernelTier::kScalar;
+}
+
+bool parse_tier(const char* name, KernelTier& out) noexcept {
+  if (std::strcmp(name, "scalar") == 0) {
+    out = KernelTier::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    out = KernelTier::kAvx2;
+  } else if (std::strcmp(name, "neon") == 0) {
+    out = KernelTier::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// The live tier state; the ops pointer itself lives in
+// detail::g_active_kernel_ops so the hot-path load inlines into callers.
+std::atomic<KernelTier> g_active_tier{KernelTier::kScalar};
+std::once_flag g_resolve_once;
+
+void resolve() noexcept {
+  KernelTier tier = best_available();
+  if (const char* env = std::getenv("POIPRIVACY_KERNEL");
+      env != nullptr && *env != '\0') {
+    KernelTier requested;
+    if (!parse_tier(env, requested)) {
+      std::fprintf(stderr,
+                   "poiprivacy: POIPRIVACY_KERNEL='%s' is not one of "
+                   "scalar|avx2|neon; using '%s'\n",
+                   env, std::string(kernel_tier_name(tier)).c_str());
+    } else if (!tier_usable(requested)) {
+      std::fprintf(stderr,
+                   "poiprivacy: POIPRIVACY_KERNEL='%s' is not available on "
+                   "this machine; using '%s'\n",
+                   env, std::string(kernel_tier_name(tier)).c_str());
+    } else {
+      tier = requested;
+    }
+  }
+  g_active_tier.store(tier, std::memory_order_relaxed);
+  detail::g_active_kernel_ops.store(ops_for(tier), std::memory_order_release);
+}
+
+void ensure_resolved() noexcept {
+  if (detail::g_active_kernel_ops.load(std::memory_order_acquire) == nullptr) {
+    std::call_once(g_resolve_once, resolve);
+  }
+}
+
+}  // namespace
+
+std::string_view kernel_tier_name(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool kernel_tier_available(KernelTier tier) noexcept {
+  return tier_usable(tier);
+}
+
+std::vector<KernelTier> available_kernel_tiers() {
+  std::vector<KernelTier> tiers;
+  for (const KernelTier t :
+       {KernelTier::kScalar, KernelTier::kAvx2, KernelTier::kNeon}) {
+    if (tier_usable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+KernelTier active_kernel_tier() noexcept {
+  ensure_resolved();
+  return g_active_tier.load(std::memory_order_relaxed);
+}
+
+bool set_kernel_tier(KernelTier tier) noexcept {
+  ensure_resolved();
+  if (!tier_usable(tier)) return false;
+  g_active_tier.store(tier, std::memory_order_relaxed);
+  detail::g_active_kernel_ops.store(ops_for(tier), std::memory_order_release);
+  return true;
+}
+
+namespace detail {
+
+std::atomic<const KernelOps*> g_active_kernel_ops{nullptr};
+
+const KernelOps& resolve_active_kernel_ops() noexcept {
+  ensure_resolved();
+  return *g_active_kernel_ops.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace poiprivacy::poi

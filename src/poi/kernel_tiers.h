@@ -1,0 +1,57 @@
+// Runtime dispatch tiers for the frequency kernels.
+//
+// The span kernels in poi/frequency.h are served by one of three
+// implementations, selected once per process:
+//
+//   kScalar  portable straight-line loops the compiler auto-vectorizes
+//            at the baseline ISA (always compiled, always available);
+//   kAvx2    explicit 8-lane AVX2 intrinsics (x86-64 builds only;
+//            selected when cpuid reports AVX2);
+//   kNeon    explicit 4-lane NEON intrinsics (AArch64/ARM builds only;
+//            NEON is baseline there, so it is selected by default).
+//
+// Selection order: the POIPRIVACY_KERNEL environment variable
+// (`scalar`, `avx2`, or `neon`) if set and available on this machine —
+// an unavailable request falls back to the best available tier with a
+// one-line note on stderr — otherwise the best available tier. The
+// resolved tier never changes observable results: every tier computes
+// bit-identical outputs, pinned by tests/kernel_property_test.cpp which
+// runs its full oracle sweep once per tier (one ctest entry per
+// compiled-in tier) against the poi::scalar_ref loops.
+//
+// set_kernel_tier() exists so one test process can sweep every
+// available tier back-to-back; it is intended for single-threaded test
+// setup, not for flipping tiers while kernels are running on other
+// threads.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace poiprivacy::poi {
+
+enum class KernelTier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Lower-case tier name as spelled in POIPRIVACY_KERNEL.
+std::string_view kernel_tier_name(KernelTier tier) noexcept;
+
+/// Compiled into this binary AND usable on this machine?
+bool kernel_tier_available(KernelTier tier) noexcept;
+
+/// Every available tier, kScalar first.
+std::vector<KernelTier> available_kernel_tiers();
+
+/// The tier the frequency kernels currently dispatch to (resolved on
+/// first use from POIPRIVACY_KERNEL / cpuid as described above).
+KernelTier active_kernel_tier() noexcept;
+
+/// Switches dispatch to `tier`; returns false (and changes nothing) if
+/// the tier is not available. Test-only: call before spawning kernel
+/// work, not concurrently with it.
+bool set_kernel_tier(KernelTier tier) noexcept;
+
+}  // namespace poiprivacy::poi

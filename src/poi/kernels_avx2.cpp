@@ -1,0 +1,208 @@
+// The AVX2 kernel tier: explicit 8-lane int32 intrinsics for the hot
+// frequency kernels. This translation unit is compiled with -mavx2 on
+// x86-64 builds only; the dispatcher guarantees these functions run only
+// on machines whose cpuid reports AVX2 (nothing here executes before
+// that check). Every function computes bit-identical results to the
+// scalar tier — the per-tier oracle sweep in tests/kernel_property_test
+// is the gate.
+#include "poi/kernel_ops.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace poiprivacy::poi::detail {
+
+namespace {
+
+inline __m256i loadu(const std::int32_t* p) noexcept {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+bool dominates(const std::int32_t* a, const std::int32_t* b,
+               std::size_t n) noexcept {
+  // 4x unrolled with two independent OR chains: the straight-line scan
+  // is load-throughput bound, and a single accumulator serializes the
+  // ORs while the unroll amortizes the loop bookkeeping across 32 lanes.
+  __m256i v0 = _mm256_setzero_si256();
+  __m256i v1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i c0 = _mm256_cmpgt_epi32(loadu(b + i), loadu(a + i));
+    const __m256i c1 = _mm256_cmpgt_epi32(loadu(b + i + 8), loadu(a + i + 8));
+    const __m256i c2 = _mm256_cmpgt_epi32(loadu(b + i + 16),
+                                          loadu(a + i + 16));
+    const __m256i c3 = _mm256_cmpgt_epi32(loadu(b + i + 24),
+                                          loadu(a + i + 24));
+    v0 = _mm256_or_si256(v0, _mm256_or_si256(c0, c1));
+    v1 = _mm256_or_si256(v1, _mm256_or_si256(c2, c3));
+  }
+  for (; i + 8 <= n; i += 8) {
+    v0 = _mm256_or_si256(v0, _mm256_cmpgt_epi32(loadu(b + i), loadu(a + i)));
+  }
+  std::int32_t tail = 0;
+  for (; i < n; ++i) tail |= (a[i] < b[i]);
+  const __m256i violated = _mm256_or_si256(v0, v1);
+  return tail == 0 && _mm256_testz_si256(violated, violated) != 0;
+}
+
+bool dominates_early_exit(const std::int32_t* a, const std::int32_t* b,
+                          std::size_t n) noexcept {
+  // One branch per 64-lane block (8 vectors), like the scalar tier.
+  constexpr std::size_t kBlock = 64;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    __m256i violated = _mm256_setzero_si256();
+    for (std::size_t j = i; j < i + kBlock; j += 8) {
+      violated = _mm256_or_si256(
+          violated, _mm256_cmpgt_epi32(loadu(b + j), loadu(a + j)));
+    }
+    if (_mm256_testz_si256(violated, violated) == 0) return false;
+  }
+  __m256i violated = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    violated = _mm256_or_si256(violated,
+                               _mm256_cmpgt_epi32(loadu(b + i), loadu(a + i)));
+  }
+  std::int32_t tail = 0;
+  for (; i < n; ++i) tail |= (a[i] < b[i]);
+  return tail == 0 && _mm256_testz_si256(violated, violated) != 0;
+}
+
+std::int64_t l1_distance(const std::int32_t* a, const std::int32_t* b,
+                         std::size_t n) noexcept {
+  // |a - b| = max(a,b) - min(a,b); the uint32 wraparound subtraction is
+  // exact for the full int32 range, and each diff widens into one of
+  // four uint64 accumulator lanes (a diff is < 2^32, so the lanes cannot
+  // overflow for any realistic n). Two accumulators: the lo/hi widening
+  // adds would otherwise form a two-deep latency chain per vector.
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc_lo = zero;
+  __m256i acc_hi = zero;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = loadu(a + i);
+    const __m256i vb = loadu(b + i);
+    const __m256i diff =
+        _mm256_sub_epi32(_mm256_max_epi32(va, vb), _mm256_min_epi32(va, vb));
+    acc_lo = _mm256_add_epi64(acc_lo, _mm256_unpacklo_epi32(diff, zero));
+    acc_hi = _mm256_add_epi64(acc_hi, _mm256_unpackhi_epi32(diff, zero));
+  }
+  const __m256i acc = _mm256_add_epi64(acc_lo, acc_hi);
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    const std::int32_t hi = a[i] > b[i] ? a[i] : b[i];
+    const std::int32_t lo = a[i] > b[i] ? b[i] : a[i];
+    sum += static_cast<std::uint32_t>(hi) - static_cast<std::uint32_t>(lo);
+  }
+  return static_cast<std::int64_t>(sum);
+}
+
+void diff_into(const std::int32_t* a, const std::int32_t* b, std::int32_t* out,
+               std::size_t n) noexcept {
+  std::size_t i = 0;
+  // Loads precede the stores within each iteration, so out == a / out == b
+  // exact aliasing stays well-defined, as in the scalar tier. (Partial
+  // overlaps are excluded by the span contract either way.) 4x unrolled:
+  // one sub + store per 8 lanes leaves the loop bookkeeping as the
+  // bottleneck otherwise.
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d0 = _mm256_sub_epi32(loadu(a + i), loadu(b + i));
+    const __m256i d1 = _mm256_sub_epi32(loadu(a + i + 8), loadu(b + i + 8));
+    const __m256i d2 = _mm256_sub_epi32(loadu(a + i + 16), loadu(b + i + 16));
+    const __m256i d3 = _mm256_sub_epi32(loadu(a + i + 24), loadu(b + i + 24));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8), d1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 16), d2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 24), d3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi32(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+std::int64_t total(const std::int32_t* f, std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(f + i))));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += f[i];
+  return sum;
+}
+
+/// 8-bit positivity mask of one vector: bit j set iff f[i + j] > 0.
+inline unsigned positive_mask8(const std::int32_t* f) noexcept {
+  const __m256i pos = _mm256_cmpgt_epi32(loadu(f), _mm256_setzero_si256());
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(pos)));
+}
+
+std::size_t collect_positive(const std::int32_t* f, std::size_t n,
+                             std::uint32_t* out) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (unsigned m = positive_mask8(f + i); m != 0; m &= m - 1) {
+      out[count++] =
+          static_cast<std::uint32_t>(i) + static_cast<unsigned>(
+                                              __builtin_ctz(m));
+    }
+  }
+  for (; i < n; ++i) {
+    out[count] = static_cast<std::uint32_t>(i);
+    count += (f[i] > 0);
+  }
+  return count;
+}
+
+void pack_fingerprint(const std::int32_t* f, std::size_t n,
+                      std::uint64_t* out) noexcept {
+  std::size_t i = 0;
+  std::uint64_t word = 0;
+  for (; i + 8 <= n; i += 8) {
+    word |= static_cast<std::uint64_t>(positive_mask8(f + i)) << (i % 64);
+    if ((i + 8) % 64 == 0) {
+      out[i / 64] = word;
+      word = 0;
+    }
+  }
+  for (; i < n; ++i) {
+    word |= static_cast<std::uint64_t>(f[i] > 0) << (i % 64);
+  }
+  // Full words were flushed inside the loop; only a partial final word
+  // (n not a multiple of 64) is still pending.
+  if (n % 64 != 0) out[n / 64] = word;
+}
+
+bool fingerprint_covers(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words) noexcept {
+  // Already word-parallel — 64 types per op on a handful of words — so
+  // the scalar word loop is the right shape on every tier.
+  std::uint64_t uncovered = 0;
+  for (std::size_t w = 0; w < words; ++w) uncovered |= b[w] & ~a[w];
+  return uncovered == 0;
+}
+
+}  // namespace
+
+const KernelOps& avx2_kernel_ops() noexcept {
+  static constexpr KernelOps ops{
+      dominates,        dominates_early_exit, l1_distance,
+      diff_into,        total,                collect_positive,
+      pack_fingerprint, fingerprint_covers,
+  };
+  return ops;
+}
+
+}  // namespace poiprivacy::poi::detail
+
+#endif  // x86-64

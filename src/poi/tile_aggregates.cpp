@@ -100,6 +100,34 @@ std::int64_t TileAggregates::Window::total_bound() const noexcept {
                   {x0_, y0_, x1_, y1_});
 }
 
+TileAggregates::Tile TileAggregates::tile_of(geo::Point p) const noexcept {
+  return {std::clamp(static_cast<int>((p.x - bounds_.min_x) * inv_tile_km_), 0,
+                     nx_ - 1),
+          std::clamp(static_cast<int>((p.y - bounds_.min_y) * inv_tile_km_), 0,
+                     ny_ - 1)};
+}
+
+TileAggregates::Window TileAggregates::tile_window(int ix, int iy,
+                                                   double radius)
+    const noexcept {
+  // Any unclamped member p of tile (ix, iy) has (p.x - min_x) / tile in
+  // [ix, ix + 1), so rect_of(p, radius) spans at most
+  // ceil(radius / tile) + 1 tiles beyond the home tile in each direction
+  // (the +1 absorbs the multiply-by-inverse rounding). Clamped members
+  // of an EDGE tile can sit arbitrarily far outside the bounds, but
+  // their rects clamp into the grid on the same side, so the expanded,
+  // grid-clamped rectangle below still contains them.
+  const int expand =
+      static_cast<int>(std::ceil(radius * inv_tile_km_)) + 1;
+  Window w;
+  w.owner_ = this;
+  w.x0_ = std::max(0, ix - expand);
+  w.y0_ = std::max(0, iy - expand);
+  w.x1_ = std::min(nx_ - 1, ix + expand);
+  w.y1_ = std::min(ny_ - 1, iy + expand);
+  return w;
+}
+
 std::int32_t TileAggregates::type_upper_bound(geo::Point p, double radius,
                                               TypeId type) const noexcept {
   return window(p, radius).type_bound(type);

@@ -181,7 +181,13 @@ CloakAggregate ReleaseService::compute_aggregate(
   // vector-at-a-time loop bit-for-bit.
   poi::FreqArena& arena = poi::scratch_arena();
   db_->freq_batch(dummies, key.radius, arena);
+  // A dummy that saw zero POIs contributes nothing to either fold (+0 to
+  // every sum, max against 0 sensitivities), so an all-clear fingerprint
+  // skips the row without changing a bit of the aggregate. Sparse regions
+  // at small radii hit this constantly.
+  arena.pack_fingerprints();
   for (std::size_t d = 0; d < arena.rows(); ++d) {
+    if (poi::fingerprint_empty(arena.fingerprint(d))) continue;
     const std::span<const std::int32_t> row = arena.row(d);
     for (std::size_t i = 0; i < m; ++i) {
       aggregate.sum[i] += row[i];

@@ -1,0 +1,322 @@
+// Bit-packed presence fingerprints (poi/frequency.h) — the tail-bit and
+// soundness properties every word-parallel consumer relies on:
+//
+//   * pack / covers / empty against their one-bit-at-a-time scalar_ref
+//     oracles at the widths that stress the 64-bit word boundary
+//     (M = 1, 63, 64, 65, 127, 177, 272), under every available kernel
+//     tier;
+//   * the tail-bit invariant: bits past M stay zero, so whole-word AND /
+//     ANDN never see garbage;
+//   * the dominance lemma: dominates(a, b) implies the packed a covers
+//     the packed b, so a failed covers() is an exact refutation — the
+//     fingerprint pre-check can never prune a true candidate
+//     (anchor_dominates == plain dominates on seeded cities);
+//   * FreqArena fingerprint storage (pack, reuse, reset invalidation);
+//   * the word-parallel rare-present-type scans against a plain per-type
+//     reference loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/attack_context.h"
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "poi/frequency.h"
+
+namespace poiprivacy {
+namespace {
+
+using poi::FingerprintWord;
+using poi::FrequencyVector;
+
+/// Widths that straddle the word boundary, plus the real city registry
+/// sizes (Beijing 177, NYC 272).
+constexpr std::size_t kWidths[] = {1, 63, 64, 65, 127, 177, 272};
+
+FrequencyVector random_vector(common::Rng& rng, std::size_t n,
+                              double present_prob) {
+  FrequencyVector f(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(present_prob)) {
+      f[i] = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    }
+  }
+  return f;
+}
+
+std::vector<FingerprintWord> packed(const FrequencyVector& f) {
+  std::vector<FingerprintWord> fp(poi::fingerprint_words(f.size()));
+  poi::pack_fingerprint(f, fp);
+  return fp;
+}
+
+class TierGuard {
+ public:
+  TierGuard() : saved_(poi::active_kernel_tier()) {}
+  ~TierGuard() { poi::set_kernel_tier(saved_); }
+
+ private:
+  poi::KernelTier saved_;
+};
+
+TEST(Fingerprint, WordCountFormula) {
+  EXPECT_EQ(poi::fingerprint_words(0), 0u);
+  EXPECT_EQ(poi::fingerprint_words(1), 1u);
+  EXPECT_EQ(poi::fingerprint_words(63), 1u);
+  EXPECT_EQ(poi::fingerprint_words(64), 1u);
+  EXPECT_EQ(poi::fingerprint_words(65), 2u);
+  EXPECT_EQ(poi::fingerprint_words(127), 2u);
+  EXPECT_EQ(poi::fingerprint_words(177), 3u);
+  EXPECT_EQ(poi::fingerprint_words(272), 5u);
+}
+
+// pack under every tier == the one-bit-at-a-time oracle, at every
+// boundary width, across sparse / dense / all-zero / saturating rows.
+TEST(Fingerprint, PackMatchesScalarReferenceAtBoundaryWidths) {
+  TierGuard guard;
+  for (const poi::KernelTier tier : poi::available_kernel_tiers()) {
+    ASSERT_TRUE(poi::set_kernel_tier(tier));
+    SCOPED_TRACE(std::string("tier ") +
+                 std::string(poi::kernel_tier_name(tier)));
+    common::Rng rng(811);
+    for (const std::size_t m : kWidths) {
+      SCOPED_TRACE("M = " + std::to_string(m));
+      for (int trial = 0; trial < 40; ++trial) {
+        FrequencyVector f = random_vector(rng, m, 0.1 + 0.2 * (trial % 5));
+        if (trial % 7 == 0) f.assign(m, 0);
+        if (trial % 11 == 0) {
+          f[rng.uniform_int(0, static_cast<int>(m) - 1)] =
+              std::numeric_limits<std::int32_t>::max();
+        }
+        EXPECT_EQ(packed(f), poi::scalar_ref::pack_fingerprint(f));
+      }
+    }
+  }
+}
+
+// The tail-bit invariant: an all-present vector sets exactly the first M
+// bits — everything past M stays zero in the last word.
+TEST(Fingerprint, TailBitsPastMStayZero) {
+  TierGuard guard;
+  for (const poi::KernelTier tier : poi::available_kernel_tiers()) {
+    ASSERT_TRUE(poi::set_kernel_tier(tier));
+    SCOPED_TRACE(std::string("tier ") +
+                 std::string(poi::kernel_tier_name(tier)));
+    for (const std::size_t m : kWidths) {
+      SCOPED_TRACE("M = " + std::to_string(m));
+      const FrequencyVector all_present(m, 1);
+      const std::vector<FingerprintWord> fp = packed(all_present);
+      ASSERT_EQ(fp.size(), poi::fingerprint_words(m));
+      for (std::size_t w = 0; w + 1 < fp.size(); ++w) {
+        EXPECT_EQ(fp[w], ~FingerprintWord{0}) << "word " << w;
+      }
+      const std::size_t last_bits = m - (fp.size() - 1) * 64;
+      const FingerprintWord last_mask =
+          last_bits == 64 ? ~FingerprintWord{0}
+                          : ((FingerprintWord{1} << last_bits) - 1);
+      EXPECT_EQ(fp.back(), last_mask);
+    }
+  }
+}
+
+TEST(Fingerprint, CoversMatchesPresenceOracle) {
+  TierGuard guard;
+  for (const poi::KernelTier tier : poi::available_kernel_tiers()) {
+    ASSERT_TRUE(poi::set_kernel_tier(tier));
+    SCOPED_TRACE(std::string("tier ") +
+                 std::string(poi::kernel_tier_name(tier)));
+    common::Rng rng(977);
+    for (const std::size_t m : kWidths) {
+      SCOPED_TRACE("M = " + std::to_string(m));
+      for (int trial = 0; trial < 60; ++trial) {
+        const FrequencyVector a = random_vector(rng, m, 0.5);
+        // Half the trials draw b as a thinned copy of a so covers()
+        // passes often; the rest are independent, so it usually fails.
+        FrequencyVector b = (trial % 2 == 0) ? a : random_vector(rng, m, 0.3);
+        if (trial % 2 == 0) {
+          for (auto& v : b) {
+            if (rng.bernoulli(0.3)) v = 0;
+          }
+        }
+        EXPECT_EQ(poi::fingerprint_covers(packed(a), packed(b)),
+                  poi::scalar_ref::presence_covers(a, b));
+      }
+    }
+  }
+}
+
+TEST(Fingerprint, EmptyDetection) {
+  for (const std::size_t m : kWidths) {
+    const FrequencyVector zero(m, 0);
+    EXPECT_TRUE(poi::fingerprint_empty(packed(zero)));
+    FrequencyVector one(m, 0);
+    one.back() = 1;  // last type: the tail word's highest used bit
+    EXPECT_FALSE(poi::fingerprint_empty(packed(one)));
+    one.back() = 0;
+    one.front() = 1;
+    EXPECT_FALSE(poi::fingerprint_empty(packed(one)));
+  }
+  EXPECT_TRUE(poi::fingerprint_empty({}));  // M = 0: zero words
+}
+
+// The lemma every pre-check rests on: dominates(a, b) ⇒ covers. The
+// converse is false, but rejection — the only thing the pre-check acts
+// on — is always exact.
+TEST(Fingerprint, DominanceImpliesCovers) {
+  common::Rng rng(1201);
+  for (const std::size_t m : kWidths) {
+    SCOPED_TRACE("M = " + std::to_string(m));
+    for (int trial = 0; trial < 60; ++trial) {
+      const FrequencyVector a = random_vector(rng, m, 0.5);
+      FrequencyVector b = a;
+      for (auto& v : b) {
+        v = std::max(0, v - static_cast<std::int32_t>(rng.uniform_int(0, 2)));
+      }
+      if (trial % 3 == 0) b = random_vector(rng, m, 0.4);
+      if (poi::dominates(a, b)) {
+        EXPECT_TRUE(poi::fingerprint_covers(packed(a), packed(b)));
+      }
+      if (!poi::fingerprint_covers(packed(a), packed(b))) {
+        EXPECT_FALSE(poi::dominates(a, b));
+      }
+    }
+  }
+}
+
+TEST(Fingerprint, ForEachPresentTypeVisitsSetBitsAscending) {
+  common::Rng rng(331);
+  for (const std::size_t m : kWidths) {
+    const FrequencyVector f = random_vector(rng, m, 0.25);
+    std::vector<poi::TypeId> expect;
+    for (poi::TypeId t = 0; t < f.size(); ++t) {
+      if (f[t] > 0) expect.push_back(t);
+    }
+    std::vector<poi::TypeId> got;
+    poi::for_each_present_type(packed(f),
+                               [&](poi::TypeId t) { got.push_back(t); });
+    EXPECT_EQ(got, expect) << "M = " << m;
+  }
+}
+
+TEST(FreqArena, FingerprintsPackPerRowAndResetInvalidates) {
+  common::Rng rng(555);
+  for (const std::size_t m : kWidths) {
+    SCOPED_TRACE("M = " + std::to_string(m));
+    poi::FreqArena arena;
+    arena.reset(5, m);
+    EXPECT_FALSE(arena.has_fingerprints());
+    for (std::size_t i = 0; i < arena.rows(); ++i) {
+      const FrequencyVector f = random_vector(rng, m, 0.3);
+      std::copy(f.begin(), f.end(), arena.row(i).begin());
+    }
+    arena.pack_fingerprints();
+    ASSERT_TRUE(arena.has_fingerprints());
+    for (std::size_t i = 0; i < arena.rows(); ++i) {
+      const std::span<const std::int32_t> row = arena.row(i);
+      const FrequencyVector copy(row.begin(), row.end());
+      const std::span<const FingerprintWord> fp = arena.fingerprint(i);
+      EXPECT_TRUE(std::equal(fp.begin(), fp.end(),
+                             poi::scalar_ref::pack_fingerprint(copy).begin()));
+    }
+    // reset() discards the previous batch's fingerprints.
+    arena.reset(2, m);
+    EXPECT_FALSE(arena.has_fingerprints());
+    // Repacking after a refill works on the reused capacity.
+    arena.row(0)[0] = 7;
+    arena.pack_fingerprints();
+    ASSERT_TRUE(arena.has_fingerprints());
+    EXPECT_EQ(arena.fingerprint(0).front() & 1u, 1u);
+    EXPECT_TRUE(poi::fingerprint_empty(arena.fingerprint(1)));
+  }
+}
+
+// ---- The envelope pre-check on real cities --------------------------------
+
+class SeededFingerprintCity : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  poi::City city() const {
+    return poi::generate_city(poi::test_preset(), GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededFingerprintCity,
+                         ::testing::Values(1u, 7u, 21u, 42u));
+
+// anchor_dominates (covers pre-check + full scan) must equal the plain
+// dominance test on every candidate: the fingerprint never prunes a true
+// candidate and never admits a false one.
+TEST_P(SeededFingerprintCity, AnchorDominatesEqualsPlainDominates) {
+  const poi::City c = city();
+  const attack::AttackContext ctx(c.db);
+  common::Rng rng(GetParam() * 71 + 9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.4, 1.6);
+    const FrequencyVector released = c.db.freq(l, r);
+    const std::optional<poi::TypeId> pivot = ctx.pivot_type(released);
+    if (!pivot) continue;
+    std::vector<FingerprintWord> released_fp(
+        poi::fingerprint_words(released.size()));
+    poi::pack_fingerprint(released, released_fp);
+    for (const poi::PoiId id : ctx.candidates_of_type(*pivot)) {
+      const bool full = poi::scalar_ref::dominates(
+          c.db.freq(c.db.poi(id).pos, 2.0 * r), released);
+      EXPECT_EQ(ctx.anchor_dominates(id, 2.0 * r, released, released_fp),
+                full)
+          << "candidate " << id;
+    }
+  }
+}
+
+// The word-parallel rarest_present / rare_present_types scans against a
+// plain per-type reference of the same (city count, id) ordering.
+TEST_P(SeededFingerprintCity, WordParallelRareScansMatchPlainLoop) {
+  const poi::City c = city();
+  const attack::AttackContext ctx(c.db);
+  const FrequencyVector& city_freq = c.db.city_freq();
+  common::Rng rng(GetParam() * 97 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point l{rng.uniform(-1.0, 9.0), rng.uniform(-1.0, 9.0)};
+    const double r = rng.uniform(0.2, 2.0);
+    const FrequencyVector released = c.db.freq(l, r);
+    const std::optional<poi::TypeId> skip =
+        trial % 2 == 0 ? ctx.pivot_type(released) : std::nullopt;
+
+    // Reference: collect present types, full sort by (city count, id).
+    std::vector<poi::TypeId> present;
+    for (poi::TypeId t = 0; t < released.size(); ++t) {
+      if (released[t] > 0 && (!skip || t != *skip)) present.push_back(t);
+    }
+    std::sort(present.begin(), present.end(),
+              [&city_freq](poi::TypeId a, poi::TypeId b) {
+                if (city_freq[a] != city_freq[b]) {
+                  return city_freq[a] < city_freq[b];
+                }
+                return a < b;
+              });
+
+    for (const std::size_t slots : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{9}, present.size() + 2}) {
+      std::vector<poi::TypeId> out(std::max<std::size_t>(slots, 1));
+      const std::size_t n = ctx.rarest_present(released, out, skip);
+      ASSERT_EQ(n, std::min(out.size(), present.size()));
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], present[i]);
+
+      const std::vector<poi::TypeId> rare =
+          ctx.rare_present_types(released, slots, skip);
+      ASSERT_EQ(rare.size(), std::min(slots, present.size()));
+      for (std::size_t i = 0; i < rare.size(); ++i) {
+        EXPECT_EQ(rare[i], present[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poiprivacy

@@ -5,6 +5,12 @@
 //     reference oracle on 200 seeded random vector pairs, including the
 //     edge shapes the kernels special-case: empty vectors, length 1, odd
 //     lengths, all-zero rows, and saturating INT32_MAX counts;
+//   * the dispatch-tier differential harness: the same oracle sweep
+//     repeated under every kernel tier the host can execute (scalar /
+//     AVX2 / NEON), plus a cross-tier bit-identity check — and the whole
+//     binary is additionally registered once per tier in ctest with
+//     POIPRIVACY_KERNEL pinned, so every tier also runs the full suite
+//     end to end;
 //   * the allocation-free aggregate paths (freq_into, freq_batch) against
 //     the canonical freq();
 //   * the TileAggregates pruning invariant — the tile envelope must
@@ -14,7 +20,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "attack/region_reid.h"
@@ -76,7 +84,9 @@ std::pair<FrequencyVector, FrequencyVector> random_pair(common::Rng& rng,
   return {std::move(a), std::move(b)};
 }
 
-TEST(KernelOracle, MatchesScalarReferenceOn200SeededPairs) {
+/// The full 200-case oracle sweep, shared by the default-tier test and
+/// the per-tier differential harness below.
+void run_oracle_sweep() {
   common::Rng rng(20260806);
   for (int t = 0; t < 200; ++t) {
     const auto [a, b] = random_pair(rng, t);
@@ -99,6 +109,97 @@ TEST(KernelOracle, MatchesScalarReferenceOn200SeededPairs) {
       EXPECT_EQ(poi::top_k_types(a, k), poi::scalar_ref::top_k_types(a, k));
       EXPECT_DOUBLE_EQ(poi::top_k_jaccard(a, b, k),
                        poi::scalar_ref::top_k_jaccard(a, b, k));
+    }
+  }
+}
+
+TEST(KernelOracle, MatchesScalarReferenceOn200SeededPairs) {
+  run_oracle_sweep();
+}
+
+/// Restores whatever tier the process resolved on destruction, so the
+/// tier-sweeping tests do not leak their override into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(poi::active_kernel_tier()) {}
+  ~TierGuard() { poi::set_kernel_tier(saved_); }
+
+ private:
+  poi::KernelTier saved_;
+};
+
+TEST(KernelTierSweep, ResolvedTierIsAvailable) {
+  const poi::KernelTier active = poi::active_kernel_tier();
+  EXPECT_TRUE(poi::kernel_tier_available(active));
+  const std::vector<poi::KernelTier> tiers = poi::available_kernel_tiers();
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), active), tiers.end());
+  // Visible in the test log so a CI run shows which tier it exercised.
+  std::printf("[ kernel tier ] active=%s available=%zu\n",
+              std::string(poi::kernel_tier_name(active)).c_str(),
+              tiers.size());
+}
+
+TEST(KernelTierSweep, ScalarTierIsAlwaysAvailable) {
+  EXPECT_TRUE(poi::kernel_tier_available(poi::KernelTier::kScalar));
+  for (const poi::KernelTier tier :
+       {poi::KernelTier::kScalar, poi::KernelTier::kAvx2,
+        poi::KernelTier::kNeon}) {
+    // set_kernel_tier accepts exactly the available tiers.
+    TierGuard guard;
+    EXPECT_EQ(poi::set_kernel_tier(tier), poi::kernel_tier_available(tier));
+  }
+}
+
+// The dispatch-tier differential harness: the full oracle sweep re-runs
+// under every tier this host can execute. Each tier must match the
+// scalar reference bit for bit — there is no tolerance anywhere in the
+// kernel layer.
+TEST(KernelTierSweep, EveryAvailableTierMatchesScalarOracle) {
+  TierGuard guard;
+  for (const poi::KernelTier tier : poi::available_kernel_tiers()) {
+    ASSERT_TRUE(poi::set_kernel_tier(tier));
+    ASSERT_EQ(poi::active_kernel_tier(), tier);
+    SCOPED_TRACE(std::string("tier ") +
+                 std::string(poi::kernel_tier_name(tier)));
+    run_oracle_sweep();
+  }
+}
+
+// Cross-tier bit-identity stated directly (not just through the oracle):
+// record every kernel's outputs under the scalar tier, then require the
+// identical bits from each other available tier.
+TEST(KernelTierSweep, TiersAreBitIdenticalToEachOther) {
+  TierGuard guard;
+  common::Rng rng(20260807);
+  for (int t = 0; t < 60; ++t) {
+    const auto [a, b] = random_pair(rng, t);
+    SCOPED_TRACE("trial " + std::to_string(t) + " len " +
+                 std::to_string(a.size()));
+
+    ASSERT_TRUE(poi::set_kernel_tier(poi::KernelTier::kScalar));
+    const bool dom = poi::dominates(a, b);
+    const bool dom_early = poi::dominates_early_exit(a, b);
+    const std::int64_t l1 = poi::l1_distance(a, b);
+    const std::int64_t tot = poi::total(a);
+    const FrequencyVector d = poi::diff(a, b);
+    const std::vector<poi::TypeId> topk = poi::top_k_types(a, 5);
+    std::vector<poi::FingerprintWord> fp(poi::fingerprint_words(a.size()));
+    poi::pack_fingerprint(a, fp);
+
+    for (const poi::KernelTier tier : poi::available_kernel_tiers()) {
+      if (tier == poi::KernelTier::kScalar) continue;
+      ASSERT_TRUE(poi::set_kernel_tier(tier));
+      SCOPED_TRACE(std::string("tier ") +
+                   std::string(poi::kernel_tier_name(tier)));
+      EXPECT_EQ(poi::dominates(a, b), dom);
+      EXPECT_EQ(poi::dominates_early_exit(a, b), dom_early);
+      EXPECT_EQ(poi::l1_distance(a, b), l1);
+      EXPECT_EQ(poi::total(a), tot);
+      EXPECT_EQ(poi::diff(a, b), d);
+      EXPECT_EQ(poi::top_k_types(a, 5), topk);
+      std::vector<poi::FingerprintWord> fp2(poi::fingerprint_words(a.size()));
+      poi::pack_fingerprint(a, fp2);
+      EXPECT_EQ(fp2, fp);
     }
   }
 }

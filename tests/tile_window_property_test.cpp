@@ -1,0 +1,166 @@
+// TileAggregates windows against brute force, and the batched-envelope
+// contract (poi/tile_aggregates.h, attack/attack_context.h):
+//
+//   * the prefix-sum window bounds are EXACT counts over the tile-aligned
+//     covering rectangle — verified against a direct scan of the POI set
+//     on 200 seeded probes, including out-of-bounds probes that clamp
+//     into edge tiles;
+//   * the coarse tile_window(ix, iy, r) dominates the per-candidate
+//     window bounds of every probe binned into that tile, so one coarse
+//     rare-type shortfall soundly rejects the whole tile;
+//   * BatchedEnvelope returns exactly the survivor set (and per-candidate
+//     verdict sequence) of the unbatched per-candidate exact_prune loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/attack_context.h"
+#include "common/rng.h"
+#include "poi/city_model.h"
+#include "poi/frequency.h"
+#include "poi/tile_aggregates.h"
+
+namespace poiprivacy {
+namespace {
+
+using poi::FrequencyVector;
+using poi::TileAggregates;
+
+class SeededTileCity : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  poi::City city() const {
+    return poi::generate_city(poi::test_preset(), GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTileCity,
+                         ::testing::Values(1u, 7u, 21u, 42u));
+
+// Window bounds vs brute force: the covering rectangle of disk(p, r)
+// spans [tile_of(p - r), tile_of(p + r)] per axis (the same clamped
+// binning formula the constructor uses), so counting POIs whose home
+// tile falls inside that rectangle must reproduce the prefix-sum reads
+// exactly. 50 probes x 4 seeds = 200 seeded cases.
+TEST_P(SeededTileCity, WindowBoundsEqualBruteForceRectangleCounts) {
+  const poi::City c = city();
+  const TileAggregates& tiles = c.db.tile_aggregates();
+  common::Rng rng(GetParam() * 409 + 11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geo::Point p{rng.uniform(-2.0, 10.0), rng.uniform(-2.0, 10.0)};
+    const double r = rng.uniform(0.05, 3.0);
+    const TileAggregates::Tile lo = tiles.tile_of({p.x - r, p.y - r});
+    const TileAggregates::Tile hi = tiles.tile_of({p.x + r, p.y + r});
+
+    FrequencyVector expect(c.db.num_types(), 0);
+    std::int64_t expect_total = 0;
+    for (const poi::Poi& poi : c.db.pois()) {
+      const TileAggregates::Tile home = tiles.tile_of(poi.pos);
+      if (home.ix >= lo.ix && home.ix <= hi.ix && home.iy >= lo.iy &&
+          home.iy <= hi.iy) {
+        ++expect[poi.type];
+        ++expect_total;
+      }
+    }
+
+    const TileAggregates::Window win = tiles.window(p, r);
+    ASSERT_EQ(win.total_bound(), expect_total)
+        << "probe (" << p.x << ", " << p.y << ") r=" << r;
+    for (poi::TypeId t = 0; t < expect.size(); ++t) {
+      ASSERT_EQ(win.type_bound(t), expect[t])
+          << "probe (" << p.x << ", " << p.y << ") r=" << r << " type=" << t;
+    }
+  }
+}
+
+// The batched-envelope contract: tile_window's bounds dominate the
+// per-candidate window bounds of every member probe — including members
+// near tile edges and out-of-bounds probes clamped into edge tiles.
+TEST_P(SeededTileCity, CoarseTileWindowDominatesMemberWindows) {
+  const poi::City c = city();
+  const TileAggregates& tiles = c.db.tile_aggregates();
+  common::Rng rng(GetParam() * 601 + 23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geo::Point p{rng.uniform(-2.0, 10.0), rng.uniform(-2.0, 10.0)};
+    const double r = rng.uniform(0.05, 3.0);
+    const TileAggregates::Tile tile = tiles.tile_of(p);
+    const TileAggregates::Window coarse =
+        tiles.tile_window(tile.ix, tile.iy, r);
+    const TileAggregates::Window fine = tiles.window(p, r);
+    ASSERT_GE(coarse.total_bound(), fine.total_bound())
+        << "probe (" << p.x << ", " << p.y << ") r=" << r;
+    for (poi::TypeId t = 0; t < c.db.num_types(); ++t) {
+      ASSERT_GE(coarse.type_bound(t), fine.type_bound(t))
+          << "probe (" << p.x << ", " << p.y << ") r=" << r << " type=" << t;
+    }
+  }
+}
+
+// BatchedEnvelope vs the unbatched loop: identical per-candidate verdicts
+// (the fired sequence the AdaptiveGate records) and identical survivor
+// sets through prune_batch.
+TEST_P(SeededTileCity, BatchedEnvelopeMatchesPerCandidatePruning) {
+  const poi::City c = city();
+  const attack::AttackContext ctx(c.db);
+  common::Rng rng(GetParam() * 733 + 31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.4, 1.6);
+    const FrequencyVector released = c.db.freq(l, r);
+    const auto pivot = ctx.pivot_type(released);
+    if (!pivot) continue;
+    const std::vector<poi::TypeId> rare =
+        ctx.rare_present_types(released, 4, pivot);
+    const std::span<const poi::PoiId> candidates =
+        ctx.candidates_of_type(*pivot);
+
+    attack::AttackContext::BatchedEnvelope envelope(ctx, 2.0 * r, released,
+                                                    rare);
+    std::vector<poi::PoiId> unbatched;
+    for (const poi::PoiId id : candidates) {
+      const geo::Point pos = c.db.poi(id).pos;
+      const bool fired = attack::AttackContext::exact_prune(
+          ctx.window(pos, 2.0 * r), released, rare);
+      EXPECT_EQ(envelope.pruned(pos), fired) << "candidate " << id;
+      if (!fired) unbatched.push_back(id);
+    }
+
+    // A fresh envelope (its memo cold) must yield the same survivors via
+    // the batch entry point.
+    attack::AttackContext::BatchedEnvelope fresh(ctx, 2.0 * r, released,
+                                                 rare);
+    std::vector<poi::PoiId> survivors;
+    fresh.prune_batch(candidates, survivors);
+    EXPECT_EQ(survivors, unbatched);
+  }
+}
+
+// Soundness end to end: no candidate the full dominance test accepts is
+// ever envelope-pruned (batched or not).
+TEST_P(SeededTileCity, EnvelopeNeverPrunesATrueCandidate) {
+  const poi::City c = city();
+  const attack::AttackContext ctx(c.db);
+  common::Rng rng(GetParam() * 887 + 41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geo::Point l{rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)};
+    const double r = rng.uniform(0.4, 1.6);
+    const FrequencyVector released = c.db.freq(l, r);
+    const auto pivot = ctx.pivot_type(released);
+    if (!pivot) continue;
+    const std::vector<poi::TypeId> rare =
+        ctx.rare_present_types(released, 4, pivot);
+    attack::AttackContext::BatchedEnvelope envelope(ctx, 2.0 * r, released,
+                                                    rare);
+    for (const poi::PoiId id : ctx.candidates_of_type(*pivot)) {
+      const geo::Point pos = c.db.poi(id).pos;
+      if (poi::scalar_ref::dominates(c.db.freq(pos, 2.0 * r), released)) {
+        EXPECT_FALSE(envelope.pruned(pos)) << "candidate " << id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poiprivacy
