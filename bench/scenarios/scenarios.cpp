@@ -23,6 +23,9 @@ void register_all_scenarios() {
   register_uniqueness_analysis(registry);
   register_micro_core(registry);
   register_service_throughput(registry);
+  register_mia_raw(registry);
+  register_mia_dp_sweep(registry);
+  register_mia_priors(registry);
 }
 
 int run_scenario_main(std::string_view name, int argc,

@@ -34,6 +34,9 @@ void register_ext_chain_attack(eval::ScenarioRegistry& registry);
 void register_uniqueness_analysis(eval::ScenarioRegistry& registry);
 void register_micro_core(eval::ScenarioRegistry& registry);
 void register_service_throughput(eval::ScenarioRegistry& registry);
+void register_mia_raw(eval::ScenarioRegistry& registry);
+void register_mia_dp_sweep(eval::ScenarioRegistry& registry);
+void register_mia_priors(eval::ScenarioRegistry& registry);
 
 /// Registers every scenario above into the process-wide registry.
 /// Idempotent: safe to call from several entry points in one process.

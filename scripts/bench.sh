@@ -6,6 +6,8 @@
 #                                   CPU time, wall-clock p50/p95/p99)
 #   BENCH_service_throughput.json   serving-layer req/s + latency
 #                                   percentiles + per-request CPU time
+#   BENCH_mia.json                  membership-inference AUC vs epsilon
+#                                   (the mia_dp_sweep table)
 #
 # into the output directory (default: repo root). Commit the files next
 # to the change that produced them so the perf history lives in git.
@@ -31,3 +33,8 @@ echo "== bench.sh: service_throughput =="
 ./build-release/bench/poibench --scenario service_throughput --threads 1 \
   > "$outdir/BENCH_service_throughput.json"
 echo "wrote $outdir/BENCH_service_throughput.json"
+
+echo "== bench.sh: mia_dp_sweep =="
+./build-release/bench/poibench --scenario mia_dp_sweep \
+  --json "$outdir/BENCH_mia.json" --threads 1 >/dev/null
+echo "wrote $outdir/BENCH_mia.json"

@@ -50,7 +50,11 @@ smoke_t8="$(mktemp)"
 ./build/bench/poibench --all --smoke --threads 8 2>/dev/null \
   | sed 's/threads=[0-9]*/threads=N/' > "$smoke_t8"
 diff -u "$smoke_t1" "$smoke_t8"
-echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8"
+for s in mia_raw mia_dp_sweep mia_priors; do
+  grep -q "^==== $s ====" "$smoke_t1" \
+    || { echo "check.sh: $s missing from the smoke catalog" >&2; exit 1; }
+done
+echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8 (mia_* present)"
 rm -f "$smoke_t1" "$smoke_t8"
 
 echo "== [5/7] Release bench smoke =="

@@ -49,4 +49,73 @@ PrivacyParams PrivacyAccountant::advanced_composition(
   return {advanced, delta_sum_ + delta_prime};
 }
 
+WindowedAccountant::WindowedAccountant(WindowPolicy policy)
+    : policy_(policy) {
+  if (policy_.window_epochs == 0) {
+    throw std::invalid_argument(
+        "windowed accountant: window_epochs must be positive");
+  }
+  if (policy_.epsilon_budget < 0.0) {
+    throw std::invalid_argument(
+        "windowed accountant: epsilon_budget must be nonnegative");
+  }
+}
+
+bool WindowedAccountant::would_exceed(std::size_t epoch,
+                                      double epsilon) const noexcept {
+  if (policy_.epsilon_budget <= 0.0) return false;
+  const auto it = windows_.find(window_of(epoch));
+  const double spent =
+      it == windows_.end() ? 0.0 : it->second.basic_composition().epsilon;
+  return spent + epsilon > policy_.epsilon_budget;
+}
+
+void WindowedAccountant::spend(std::size_t epoch, PrivacyParams params) {
+  // Validate before touching the map: a rejected spend must not create
+  // (or charge) the window, so windows_touched() counts real releases.
+  if (params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0) {
+    throw std::invalid_argument(
+        "windowed accountant: requires epsilon > 0 and delta in [0, 1)");
+  }
+  if (would_exceed(epoch, params.epsilon)) {
+    throw std::runtime_error(
+        "windowed accountant: window epsilon budget exhausted");
+  }
+  windows_[window_of(epoch)].spend(params);
+  ++releases_;
+}
+
+PrivacyParams WindowedAccountant::window_composition(
+    std::size_t window) const noexcept {
+  const auto it = windows_.find(window);
+  return it == windows_.end() ? PrivacyParams{0.0, 0.0}
+                              : it->second.basic_composition();
+}
+
+PrivacyParams WindowedAccountant::window_advanced_composition(
+    std::size_t window, double delta_prime) const {
+  const auto it = windows_.find(window);
+  if (it == windows_.end()) return {0.0, delta_prime};
+  return it->second.advanced_composition(delta_prime);
+}
+
+PrivacyParams WindowedAccountant::peak_window_composition() const noexcept {
+  PrivacyParams peak{0.0, 0.0};
+  for (const auto& [window, accountant] : windows_) {
+    const PrivacyParams composed = accountant.basic_composition();
+    if (composed.epsilon > peak.epsilon) peak = composed;
+  }
+  return peak;
+}
+
+PrivacyParams WindowedAccountant::lifetime_composition() const noexcept {
+  PrivacyParams total{0.0, 0.0};
+  for (const auto& [window, accountant] : windows_) {
+    const PrivacyParams composed = accountant.basic_composition();
+    total.epsilon += composed.epsilon;
+    total.delta += composed.delta;
+  }
+  return total;
+}
+
 }  // namespace poiprivacy::dp

@@ -7,10 +7,16 @@
 // under several release policies) are composed per-epsilon group: each
 // group gets Thm 3.20 with an equal share of the slack, and the group
 // bounds compose additively.
+// Window-level composition (WindowedAccountant below) serves the
+// continual-release workloads: time is divided into epochs, epochs group
+// into fixed-length accounting windows, and the budget renews at every
+// window boundary — the standard w-event-style guarantee where the bound
+// holds over any single window rather than the unbounded stream.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <vector>
 
 #include "dp/mechanisms.h"
 
@@ -40,6 +46,72 @@ class PrivacyAccountant {
   double epsilon_sum_ = 0.0;
   double delta_sum_ = 0.0;
   std::map<double, std::size_t> by_epsilon_;  ///< releases per epsilon
+};
+
+/// Renewal policy of a WindowedAccountant: how many epochs share one
+/// accounting window, and the per-window epsilon budget that renews at
+/// each window boundary (0 = unbounded, pure bookkeeping).
+struct WindowPolicy {
+  std::size_t window_epochs = 1;
+  double epsilon_budget = 0.0;
+};
+
+/// Privacy accounting for periodic aggregate streams: every release is
+/// tagged with the epoch it covers, epochs map onto fixed-length windows
+/// (window_of), and each window owns its own PrivacyAccountant — so the
+/// per-epsilon-group composition machinery above applies per window, and
+/// the budget guarantee renews when a window closes. Releases against an
+/// untouched window start from a fresh budget; the lifetime_* queries
+/// still compose across every window for the unbounded-stream view.
+class WindowedAccountant {
+ public:
+  /// Throws on window_epochs == 0 or a negative budget.
+  explicit WindowedAccountant(WindowPolicy policy);
+
+  const WindowPolicy& policy() const noexcept { return policy_; }
+
+  /// The accounting window epoch `epoch` belongs to (epoch / window_epochs
+  /// — an epoch exactly on a boundary opens the NEXT window).
+  std::size_t window_of(std::size_t epoch) const noexcept {
+    return epoch / policy_.window_epochs;
+  }
+
+  /// True when charging `epsilon` more to `epoch`'s window would push the
+  /// window's basic-composition epsilon past the policy budget. Always
+  /// false with an unbounded (0) budget.
+  bool would_exceed(std::size_t epoch, double epsilon) const noexcept;
+
+  /// Records one (eps, delta)-DP release against `epoch`'s window.
+  /// Throws std::invalid_argument on invalid params (PrivacyAccountant
+  /// rules) and std::runtime_error when the window budget would be
+  /// exceeded — renewal happens only at window boundaries, never by
+  /// overdrawing the current window.
+  void spend(std::size_t epoch, PrivacyParams params);
+
+  std::size_t releases() const noexcept { return releases_; }
+
+  /// Windows that have recorded at least one release.
+  std::size_t windows_touched() const noexcept { return windows_.size(); }
+
+  /// Basic composition of one window's releases ({0, 0} if untouched).
+  PrivacyParams window_composition(std::size_t window) const noexcept;
+
+  /// Advanced composition of one window's releases (Thm 3.20 per epsilon
+  /// group; {0, delta_prime} if untouched).
+  PrivacyParams window_advanced_composition(std::size_t window,
+                                            double delta_prime) const;
+
+  /// The worst per-window basic composition — the epsilon the renewal
+  /// guarantee actually promises per window.
+  PrivacyParams peak_window_composition() const noexcept;
+
+  /// Basic composition across every window (the unbounded-stream cost).
+  PrivacyParams lifetime_composition() const noexcept;
+
+ private:
+  WindowPolicy policy_;
+  std::size_t releases_ = 0;
+  std::map<std::size_t, PrivacyAccountant> windows_;  ///< by window index
 };
 
 }  // namespace poiprivacy::dp

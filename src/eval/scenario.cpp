@@ -1,5 +1,6 @@
 #include "eval/scenario.h"
 
+#include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 
@@ -12,7 +13,12 @@ ScenarioRegistry& ScenarioRegistry::instance() {
 
 void ScenarioRegistry::add(Scenario scenario) {
   if (find(scenario.name) != nullptr) {
-    throw std::invalid_argument("duplicate scenario: " + scenario.name);
+    // Two scenarios answering to one key is always a merge mistake, and a
+    // registry that silently shadowed one of them would corrupt the smoke
+    // gate's catalog — abort so the broken build cannot even --list.
+    std::cerr << "fatal: duplicate scenario registration: " << scenario.name
+              << "\n";
+    std::abort();
   }
   if (!scenario.run) {
     throw std::invalid_argument("scenario without a run function: " +

@@ -48,8 +48,11 @@ class ScenarioRegistry {
   /// The process-wide registry.
   static ScenarioRegistry& instance();
 
-  /// Registers a scenario. Throws std::invalid_argument on a duplicate
-  /// name — two scenarios answering to one key is always a merge mistake.
+  /// Registers a scenario. A duplicate name aborts the process with a
+  /// "fatal: duplicate scenario registration: NAME" message on stderr —
+  /// two scenarios answering to one key is always a merge mistake, and
+  /// failing fast beats shadowing one of them. A scenario without a run
+  /// function throws std::invalid_argument.
   void add(Scenario scenario);
 
   /// Looks up a scenario by name; nullptr when absent.

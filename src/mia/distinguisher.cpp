@@ -1,0 +1,42 @@
+#include "mia/distinguisher.h"
+
+#include <vector>
+
+namespace poiprivacy::mia {
+
+const char* distinguisher_name(DistinguisherKind kind) noexcept {
+  switch (kind) {
+    case DistinguisherKind::kLogistic:
+      return "logistic";
+    case DistinguisherKind::kSvm:
+      return "svm";
+  }
+  return "?";
+}
+
+void Distinguisher::train(const ml::Matrix& x, std::span<const int> labels,
+                          common::Rng& rng) {
+  const ml::Matrix standardized = scaler_.fit_transform(x);
+  switch (config_.kind) {
+    case DistinguisherKind::kLogistic:
+      logistic_.train(standardized, labels, config_.logistic, rng);
+      break;
+    case DistinguisherKind::kSvm:
+      svm_.train(standardized, labels, config_.svm, rng);
+      break;
+  }
+}
+
+double Distinguisher::score(std::span<const double> row) const {
+  std::vector<double> standardized(row.begin(), row.end());
+  scaler_.transform_row(standardized);
+  switch (config_.kind) {
+    case DistinguisherKind::kLogistic:
+      return logistic_.decision(standardized);
+    case DistinguisherKind::kSvm:
+      return svm_.decision(standardized);
+  }
+  return 0.0;
+}
+
+}  // namespace poiprivacy::mia

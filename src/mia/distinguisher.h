@@ -1,0 +1,51 @@
+// The distinguisher of the membership-inference game: a binary scorer
+// over ml::BinaryLogistic / ml::BinarySvm (the same model families the
+// recovery attacks use), with feature standardization folded in so game
+// code hands it raw feature rows. Scores are real decision values
+// (positive => "target participated"), which is what the AUC/ROC
+// machinery in ml/validation consumes.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/logistic.h"
+#include "ml/svm.h"
+
+namespace poiprivacy::mia {
+
+enum class DistinguisherKind { kLogistic, kSvm };
+
+inline constexpr DistinguisherKind kAllDistinguishers[] = {
+    DistinguisherKind::kLogistic, DistinguisherKind::kSvm};
+
+const char* distinguisher_name(DistinguisherKind kind) noexcept;
+
+struct DistinguisherConfig {
+  DistinguisherKind kind = DistinguisherKind::kLogistic;
+  ml::LogisticConfig logistic;
+  ml::SvmConfig svm;
+};
+
+class Distinguisher {
+ public:
+  explicit Distinguisher(DistinguisherConfig config = {})
+      : config_(config) {}
+
+  /// Fits the scaler on x and trains the binary model. `labels[i]` must
+  /// be -1 or +1.
+  void train(const ml::Matrix& x, std::span<const int> labels,
+             common::Rng& rng);
+
+  /// Decision score of one raw (unstandardized) feature row.
+  double score(std::span<const double> row) const;
+
+ private:
+  DistinguisherConfig config_;
+  ml::StandardScaler scaler_;
+  ml::BinaryLogistic logistic_;
+  ml::BinarySvm svm_;
+};
+
+}  // namespace poiprivacy::mia

@@ -1,0 +1,87 @@
+#include "mia/features.h"
+
+#include <algorithm>
+
+namespace poiprivacy::mia {
+
+const char* feature_set_name(FeatureSet set) noexcept {
+  switch (set) {
+    case FeatureSet::kRawConcat:
+      return "raw_concat";
+    case FeatureSet::kDeltas:
+      return "deltas";
+    case FeatureSet::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+std::size_t feature_dim(FeatureSet set, std::size_t windows,
+                        std::size_t tiles) noexcept {
+  switch (set) {
+    case FeatureSet::kRawConcat:
+      return windows * tiles;
+    case FeatureSet::kDeltas:
+      return windows <= 1 ? windows * tiles : (windows - 1) * tiles;
+    case FeatureSet::kStats:
+      return 4 * windows;
+  }
+  return 0;
+}
+
+void extract_features(const poi::FreqArena& stream, FeatureSet set,
+                      std::vector<double>& out) {
+  const std::size_t windows = stream.rows();
+  const std::size_t tiles = stream.row_len();
+  out.clear();
+  out.reserve(feature_dim(set, windows, tiles));
+
+  switch (set) {
+    case FeatureSet::kRawConcat: {
+      for (std::size_t w = 0; w < windows; ++w) {
+        for (const std::int32_t cell : stream.row(w)) {
+          out.push_back(static_cast<double>(cell));
+        }
+      }
+      break;
+    }
+    case FeatureSet::kDeltas: {
+      if (windows <= 1) {
+        for (std::size_t w = 0; w < windows; ++w) {
+          for (const std::int32_t cell : stream.row(w)) {
+            out.push_back(static_cast<double>(cell));
+          }
+        }
+        break;
+      }
+      std::vector<std::int32_t> delta(tiles);
+      for (std::size_t w = 1; w < windows; ++w) {
+        poi::diff_into(stream.row(w), stream.row(w - 1), delta);
+        for (const std::int32_t cell : delta) {
+          out.push_back(static_cast<double>(cell));
+        }
+      }
+      break;
+    }
+    case FeatureSet::kStats: {
+      for (std::size_t w = 0; w < windows; ++w) {
+        const std::span<const std::int32_t> row = stream.row(w);
+        std::int32_t max = 0;
+        std::size_t occupied = 0;
+        for (const std::int32_t cell : row) {
+          max = std::max(max, cell);
+          occupied += cell > 0;
+        }
+        out.push_back(static_cast<double>(poi::total(row)));
+        out.push_back(static_cast<double>(max));
+        out.push_back(static_cast<double>(occupied));
+        out.push_back(w == 0 ? 0.0
+                             : static_cast<double>(poi::l1_distance(
+                                   row, stream.row(w - 1))));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace poiprivacy::mia

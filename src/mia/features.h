@@ -1,0 +1,43 @@
+// Per-epoch feature extraction for the membership-inference
+// distinguisher, over a released aggregate stream held in a FreqArena
+// (one int32 ROI-count row per window — exactly what the releaser
+// emits into poi::scratch_arena()).
+//
+// Three feature sets, mirroring the Pyrgelis et al. ablation:
+//   * kRawConcat — the window rows flattened (W * T dims), the strongest
+//     signal when the adversary can afford the dimensionality;
+//   * kDeltas    — consecutive per-tile window differences via
+//     poi::diff_into ((W-1) * T dims; falls back to the raw row when the
+//     stream has a single window), isolating the temporal dynamics;
+//   * kStats     — four per-window summary statistics (total, max,
+//     occupied-tile count, L1 distance to the previous window), the
+//     cheap low-dimensional baseline (4 * W dims). Uses the poi::total /
+//     poi::l1_distance kernels, so every dispatch tier produces
+//     bit-identical features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "poi/frequency.h"
+
+namespace poiprivacy::mia {
+
+enum class FeatureSet { kRawConcat, kDeltas, kStats };
+
+inline constexpr FeatureSet kAllFeatureSets[] = {
+    FeatureSet::kRawConcat, FeatureSet::kDeltas, FeatureSet::kStats};
+
+const char* feature_set_name(FeatureSet set) noexcept;
+
+/// Feature dimension of a stream of `windows` rows of `tiles` counts.
+std::size_t feature_dim(FeatureSet set, std::size_t windows,
+                        std::size_t tiles) noexcept;
+
+/// Extracts `set` features from the stream into `out` (resized to the
+/// feature dimension). The stream rows are consumed immediately — safe
+/// on a scratch-arena stream per the poi::scratch_arena() contract.
+void extract_features(const poi::FreqArena& stream, FeatureSet set,
+                      std::vector<double>& out);
+
+}  // namespace poiprivacy::mia

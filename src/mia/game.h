@@ -1,0 +1,77 @@
+// The membership-inference distinguishing game (Pyrgelis et al., "Knock
+// Knock, Who's There?"): decide from a sequence of released per-tile
+// aggregates whether a target user's locations contributed.
+//
+// One trial:
+//   1. derive the trial's Rng substream and pick a target from the
+//      prior's known pool;
+//   2. sample balanced in/out world groups (in = target + m-1 others,
+//      out = m others) and build their aggregate streams over the prior
+//      period [0, train_epochs) — raw for the subset prior, through the
+//      release mechanism for the past-groups prior;
+//   3. train the distinguisher on the extracted features;
+//   4. sample fresh in/out groups from the full population, release
+//      their streams over the inference period [train_epochs, epochs)
+//      (noised when the stream is noised, charged to a
+//      WindowedAccountant), and score them.
+//
+// Trials run on the process-wide thread pool with one Rng substream per
+// trial and an ordered reduction of the pooled (score, label) pairs, so
+// the result — AUC included — is bit-identical for any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "mia/distinguisher.h"
+#include "mia/features.h"
+#include "mia/mobility.h"
+#include "mia/priors.h"
+#include "mia/stream_release.h"
+#include "ml/validation.h"
+
+namespace poiprivacy::mia {
+
+struct GameConfig {
+  StreamConfig stream;
+  /// Released ROI size (top tiles by prior-period activity).
+  std::size_t roi_tiles = 48;
+  /// Users aggregated per released group (the target's anonymity set).
+  std::size_t group_size = 20;
+  /// Balanced in/out instance pairs per trial.
+  std::size_t train_pairs = 32;
+  std::size_t test_pairs = 8;
+  /// The prior period is [0, train_epochs), the inference period
+  /// [train_epochs, traces.epochs()). Both periods must release the same
+  /// number of windows (the distinguisher's feature dimension is fixed
+  /// at training time); an even split always satisfies this.
+  std::size_t train_epochs = 8;
+  PriorConfig prior;
+  FeatureSet features = FeatureSet::kRawConcat;
+  DistinguisherConfig distinguisher;
+  /// Independent games (fresh target + groups each); scores pool.
+  std::size_t trials = 8;
+  std::uint64_t seed = 42;
+};
+
+struct GameResult {
+  /// Pooled test scores/labels in trial-major, pair-major (in, out) order.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  double auc = 0.5;
+  ml::ConfusionMatrix confusion;  ///< thresholded at score 0
+  /// Worst per-accounting-window composition over the noised releases
+  /// of any single trial ({0, 0} for a raw stream).
+  dp::PrivacyParams peak_window{0.0, 0.0};
+  /// Noised window releases charged across all trials.
+  std::size_t dp_releases = 0;
+
+  double accuracy() const { return confusion.accuracy(); }
+};
+
+/// Plays the game over pre-generated traces. Deterministic for a fixed
+/// config: bit-identical at any thread count.
+GameResult play_game(const UserTraces& traces, const GameConfig& config);
+
+}  // namespace poiprivacy::mia

@@ -1,0 +1,62 @@
+#include "mia/mobility.h"
+
+#include <stdexcept>
+
+namespace poiprivacy::mia {
+
+namespace {
+
+TileId tile_id_of(const poi::TileAggregates& tiles, geo::Point pos) noexcept {
+  const poi::TileAggregates::Tile tile = tiles.tile_of(pos);
+  return static_cast<TileId>(tile.iy) * tiles.nx() +
+         static_cast<TileId>(tile.ix);
+}
+
+}  // namespace
+
+UserTraces generate_traces(const attack::AttackContext& ctx,
+                           const MobilityConfig& config, std::uint64_t seed) {
+  if (config.num_users == 0 || config.epochs == 0 ||
+      config.visits_per_epoch == 0 || config.profile_tiles == 0) {
+    throw std::invalid_argument("mobility: config sizes must be positive");
+  }
+  const poi::TileAggregates& tiles = ctx.tiles();
+  const auto& pois = ctx.db().pois();
+  if (pois.empty()) {
+    throw std::invalid_argument("mobility: database has no POIs");
+  }
+  const std::size_t num_tiles =
+      static_cast<std::size_t>(tiles.nx()) * static_cast<std::size_t>(tiles.ny());
+  UserTraces traces(config.num_users, config.epochs, config.visits_per_epoch,
+                    num_tiles);
+
+  const common::Rng base(seed);
+  const auto random_poi_tile = [&](common::Rng& rng) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pois.size()) - 1));
+    return tile_id_of(tiles, pois[idx].pos);
+  };
+
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    common::Rng rng = base.substream(u);
+    // The routine: profile tiles anchored on POI positions, so users
+    // cluster where the city does.
+    std::vector<TileId> profile(config.profile_tiles);
+    for (TileId& tile : profile) tile = random_poi_tile(rng);
+
+    for (std::size_t e = 0; e < config.epochs; ++e) {
+      std::span<TileId> out = traces.visits(u, e);
+      for (TileId& visit : out) {
+        if (rng.bernoulli(config.routine_prob)) {
+          visit = profile[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(profile.size()) - 1))];
+        } else {
+          visit = random_poi_tile(rng);
+        }
+      }
+    }
+  }
+  return traces;
+}
+
+}  // namespace poiprivacy::mia

@@ -1,0 +1,85 @@
+// Synthetic per-user mobility over the city tile grid — the population
+// whose aggregates the stream releaser publishes and the membership-
+// inference game attacks.
+//
+// Each user gets a small routine (a handful of profile tiles anchored on
+// real POI positions, so the profiles inherit the city's spatial
+// clustering) and visits `visits_per_epoch` tiles per epoch, mostly from
+// the routine. Routine-dominated traces are exactly what makes aggregate
+// location time-series vulnerable to membership inference (Pyrgelis et
+// al.): a user's contribution to the per-tile counts is concentrated and
+// stable across epochs, so a distinguisher can spot its presence.
+//
+// Generation is deterministic and thread-count independent: user u's
+// trace is a pure function of (seed, u) via Rng::substream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/attack_context.h"
+#include "common/rng.h"
+
+namespace poiprivacy::mia {
+
+/// Full-grid tile id: iy * nx + ix over the database's TileAggregates
+/// grid (the same 1 km binning the attack layer prunes with).
+using TileId = std::int32_t;
+
+struct MobilityConfig {
+  std::size_t num_users = 100;
+  /// Total timeline length; the game splits it into a prior-knowledge
+  /// period and an inference period.
+  std::size_t epochs = 16;
+  std::size_t visits_per_epoch = 3;
+  /// Tiles in a user's routine.
+  std::size_t profile_tiles = 4;
+  /// Probability a visit goes to a routine tile (else a random POI tile).
+  double routine_prob = 0.85;
+};
+
+/// Per-user, per-epoch tile visits; every (user, epoch) cell holds exactly
+/// `visits_per_epoch` tile ids (repeats allowed — a count, not a set).
+class UserTraces {
+ public:
+  UserTraces(std::size_t num_users, std::size_t epochs,
+             std::size_t visits_per_epoch, std::size_t num_tiles)
+      : num_users_(num_users),
+        epochs_(epochs),
+        visits_per_epoch_(visits_per_epoch),
+        num_tiles_(num_tiles),
+        visits_(num_users * epochs * visits_per_epoch, 0) {}
+
+  std::size_t num_users() const noexcept { return num_users_; }
+  std::size_t epochs() const noexcept { return epochs_; }
+  std::size_t visits_per_epoch() const noexcept { return visits_per_epoch_; }
+  /// Tiles in the full grid (nx * ny of the TileAggregates the traces
+  /// were generated over).
+  std::size_t num_tiles() const noexcept { return num_tiles_; }
+
+  std::span<const TileId> visits(std::size_t user,
+                                 std::size_t epoch) const noexcept {
+    return {visits_.data() + (user * epochs_ + epoch) * visits_per_epoch_,
+            visits_per_epoch_};
+  }
+  std::span<TileId> visits(std::size_t user, std::size_t epoch) noexcept {
+    return {visits_.data() + (user * epochs_ + epoch) * visits_per_epoch_,
+            visits_per_epoch_};
+  }
+
+ private:
+  std::size_t num_users_;
+  std::size_t epochs_;
+  std::size_t visits_per_epoch_;
+  std::size_t num_tiles_;
+  std::vector<TileId> visits_;  ///< (user, epoch, visit) row-major
+};
+
+/// Deterministically generates the population's traces over the context
+/// database's tile grid. User u's trace depends only on (seed, u), so
+/// traces are identical for any thread count or generation order.
+UserTraces generate_traces(const attack::AttackContext& ctx,
+                           const MobilityConfig& config, std::uint64_t seed);
+
+}  // namespace poiprivacy::mia

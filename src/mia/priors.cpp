@@ -1,0 +1,45 @@
+#include "mia/priors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poiprivacy::mia {
+
+const char* prior_name(PriorKind kind) noexcept {
+  switch (kind) {
+    case PriorKind::kSubsetOfLocations:
+      return "subset";
+    case PriorKind::kPastGroups:
+      return "past_groups";
+  }
+  return "?";
+}
+
+PriorKnowledge resolve_prior(const PriorConfig& config, std::size_t num_users,
+                             std::size_t min_pool) {
+  if (min_pool > num_users) {
+    throw std::invalid_argument("prior: population smaller than one group");
+  }
+  PriorKnowledge knowledge;
+  std::size_t pool = num_users;
+  if (config.kind == PriorKind::kSubsetOfLocations) {
+    if (config.known_fraction <= 0.0 || config.known_fraction > 1.0) {
+      throw std::invalid_argument("prior: known_fraction must be in (0, 1]");
+    }
+    pool = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(
+            config.known_fraction * static_cast<double>(num_users))),
+        min_pool, num_users);
+    knowledge.trains_on_released = false;
+  } else {
+    knowledge.trains_on_released = true;
+  }
+  knowledge.training_pool.resize(pool);
+  for (std::size_t u = 0; u < pool; ++u) {
+    knowledge.training_pool[u] = static_cast<std::uint32_t>(u);
+  }
+  return knowledge;
+}
+
+}  // namespace poiprivacy::mia

@@ -1,0 +1,53 @@
+// Prior-knowledge models of the membership-inference adversary, after
+// Pyrgelis et al.:
+//
+//   * kSubsetOfLocations — the adversary knows the actual traces of a
+//     subset of the population (including the target) during the prior
+//     period, so it can SIMULATE noise-free training aggregates for any
+//     group drawn from that subset; `known_fraction` ablates how much of
+//     the population it knows.
+//   * kPastGroups — the adversary only OBSERVED past released aggregates
+//     (noised exactly like the challenge stream) of groups whose
+//     membership it knew; it can train on any group, but only through
+//     the release mechanism.
+//
+// resolve_prior turns a config into the two facts the game needs: which
+// users training groups may be drawn from, and whether training
+// aggregates go through the (possibly noised) release path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace poiprivacy::mia {
+
+enum class PriorKind { kSubsetOfLocations, kPastGroups };
+
+const char* prior_name(PriorKind kind) noexcept;
+
+struct PriorConfig {
+  PriorKind kind = PriorKind::kSubsetOfLocations;
+  /// Subset prior: fraction of the population whose traces the adversary
+  /// knows (the known users are a fixed prefix of the user ids; the
+  /// target is always drawn from the known subset). Ignored by the
+  /// past-groups prior.
+  double known_fraction = 1.0;
+};
+
+struct PriorKnowledge {
+  /// Users training groups may be sampled from (always contains the
+  /// target).
+  std::vector<std::uint32_t> training_pool;
+  /// True when training aggregates must go through the release mechanism
+  /// (same epsilon as the challenge); false when the adversary simulates
+  /// raw aggregates from known traces.
+  bool trains_on_released = false;
+};
+
+/// Resolves the prior for a population of `num_users`. `min_pool` is the
+/// smallest usable pool (group size + 1); the subset prior's pool is
+/// clamped to it so the game stays well-posed at tiny known fractions.
+PriorKnowledge resolve_prior(const PriorConfig& config, std::size_t num_users,
+                             std::size_t min_pool);
+
+}  // namespace poiprivacy::mia

@@ -1,0 +1,82 @@
+// AggregateStreamReleaser — the GSP-side continual-release workload: a
+// periodic per-tile count aggregate over sliding epoch windows, published
+// either raw or noised through the Laplace mechanism (dp/mechanisms) with
+// every noised window charged to a dp::WindowedAccountant.
+//
+// The released vector covers a fixed ROI — the top tiles of the city's
+// TileAggregates grid by population activity during a public warm-up
+// period — so release rows are compact, comparable across windows, and
+// directly feed the FreqArena/kernel machinery (rows are plain int32
+// count vectors; poi::total / poi::l1_distance / poi::top_k_jaccard all
+// apply).
+//
+// Determinism contract: releases are pure functions of (traces, group,
+// epoch range, rng state); the per-window noise draw order is fixed
+// (window-major, then ROI order), so a release is bit-identical for any
+// thread count as long as the caller derives `rng` from Rng::substream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dp/accountant.h"
+#include "mia/mobility.h"
+#include "poi/frequency.h"
+
+namespace poiprivacy::mia {
+
+struct StreamConfig {
+  /// Epochs summed into one released window.
+  std::size_t window_epochs = 2;
+  /// Epochs between consecutive window starts (1 = fully sliding).
+  std::size_t stride = 1;
+  /// Per-window privacy budget; 0 releases the raw counts.
+  double epsilon = 0.0;
+  /// Accounting policy for the WindowedAccountant the releaser charges
+  /// (epoch-indexed; independent of the release window geometry).
+  dp::WindowPolicy accounting{4, 0.0};
+};
+
+class AggregateStreamReleaser {
+ public:
+  /// Picks the ROI: the `roi_tiles` most-visited tiles of the whole
+  /// population over epochs [0, roi_epochs), ties broken by tile id —
+  /// a deterministic public statistic standing in for the "popular ROIs"
+  /// real aggregators publish. Throws if the traces are empty.
+  AggregateStreamReleaser(const UserTraces& traces, StreamConfig config,
+                          std::size_t roi_tiles, std::size_t roi_epochs);
+
+  const StreamConfig& config() const noexcept { return config_; }
+
+  /// Released tile ids (full-grid ids), in released-vector order.
+  const std::vector<TileId>& roi() const noexcept { return roi_; }
+
+  /// Windows released for the epoch range [begin, end): one per window
+  /// start begin, begin+stride, ... with the full window inside the range.
+  std::size_t num_windows(std::size_t begin, std::size_t end) const noexcept;
+
+  /// L1 sensitivity of one released window to one user's presence:
+  /// visits_per_epoch * window_epochs (every visit lands in some tile;
+  /// out-of-ROI visits only lower the realized change).
+  double sensitivity() const noexcept;
+
+  /// Releases the aggregate stream of `group` (user indices) over epochs
+  /// [begin, end) into `out`: row w is window w's per-ROI-tile count,
+  /// raw when config.epsilon == 0, otherwise Laplace-noised (rounded,
+  /// clamped at 0) with each window charged to `accountant` (when given)
+  /// at the window's start epoch. `rng` is consumed only by the noise
+  /// draws, in fixed window-major order.
+  void release(std::span<const std::uint32_t> group, std::size_t begin,
+               std::size_t end, common::Rng& rng, poi::FreqArena& out,
+               dp::WindowedAccountant* accountant = nullptr) const;
+
+ private:
+  const UserTraces* traces_;
+  StreamConfig config_;
+  std::vector<TileId> roi_;
+  std::vector<std::int32_t> roi_index_;  ///< full-grid tile -> ROI slot or -1
+};
+
+}  // namespace poiprivacy::mia

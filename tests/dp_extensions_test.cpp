@@ -208,5 +208,89 @@ TEST(Accountant, EmptyAccountantIsFree) {
   EXPECT_DOUBLE_EQ(accountant.advanced_composition(0.5).epsilon, 0.0);
 }
 
+TEST(WindowedAccountant, RejectsBadPolicy) {
+  EXPECT_THROW(WindowedAccountant({0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(WindowedAccountant({4, -1.0}), std::invalid_argument);
+}
+
+TEST(WindowedAccountant, EpochsMapOntoFixedWindows) {
+  const WindowedAccountant accountant({4, 0.0});
+  EXPECT_EQ(accountant.window_of(0), 0u);
+  EXPECT_EQ(accountant.window_of(3), 0u);
+  EXPECT_EQ(accountant.window_of(4), 1u);  // boundary epoch opens window 1
+  EXPECT_EQ(accountant.window_of(7), 1u);
+  EXPECT_EQ(accountant.window_of(8), 2u);
+}
+
+TEST(WindowedAccountant, ComposesPerWindowAndAcrossLifetime) {
+  WindowedAccountant accountant({2, 0.0});
+  accountant.spend(0, {0.5, 0.0});
+  accountant.spend(1, {0.5, 0.0});
+  accountant.spend(2, {1.0, 0.01});
+  EXPECT_EQ(accountant.releases(), 3u);
+  EXPECT_EQ(accountant.windows_touched(), 2u);
+  EXPECT_DOUBLE_EQ(accountant.window_composition(0).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(accountant.window_composition(1).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(accountant.window_composition(1).delta, 0.01);
+  EXPECT_DOUBLE_EQ(accountant.window_composition(7).epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().delta, 0.01);
+  EXPECT_DOUBLE_EQ(accountant.peak_window_composition().epsilon, 1.0);
+}
+
+TEST(WindowedAccountant, BudgetRenewsExactlyAtWindowBoundary) {
+  WindowedAccountant accountant({4, 1.0});
+  // Fill window 0's budget exactly: spending to the budget is allowed,
+  // one more infinitesimal release is not.
+  accountant.spend(0, {0.5, 0.0});
+  EXPECT_FALSE(accountant.would_exceed(3, 0.5));
+  accountant.spend(3, {0.5, 0.0});
+  EXPECT_TRUE(accountant.would_exceed(3, 0.001));
+  EXPECT_THROW(accountant.spend(2, {0.001, 0.0}), std::runtime_error);
+  // Epoch 4 is the first epoch of window 1: full budget again.
+  EXPECT_FALSE(accountant.would_exceed(4, 1.0));
+  accountant.spend(4, {1.0, 0.0});
+  EXPECT_TRUE(accountant.would_exceed(4, 0.001));
+  // The failed spend must not have charged anything anywhere.
+  EXPECT_DOUBLE_EQ(accountant.window_composition(0).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(accountant.window_composition(1).epsilon, 1.0);
+  EXPECT_EQ(accountant.releases(), 3u);
+}
+
+TEST(WindowedAccountant, UnboundedBudgetNeverExceeds) {
+  WindowedAccountant accountant({1, 0.0});
+  for (std::size_t epoch = 0; epoch < 16; ++epoch) {
+    EXPECT_FALSE(accountant.would_exceed(epoch, 100.0));
+    accountant.spend(epoch, {100.0, 0.0});
+  }
+  EXPECT_EQ(accountant.windows_touched(), 16u);
+  EXPECT_DOUBLE_EQ(accountant.peak_window_composition().epsilon, 100.0);
+  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().epsilon, 1600.0);
+}
+
+TEST(WindowedAccountant, WindowAdvancedCompositionUsesEpsilonGroups) {
+  WindowedAccountant accountant({8, 0.0});
+  PrivacyAccountant reference;
+  for (int i = 0; i < 6; ++i) {
+    accountant.spend(0, {0.1, 0.0});
+    reference.spend({0.1, 0.0});
+  }
+  const PrivacyParams windowed =
+      accountant.window_advanced_composition(0, 1e-6);
+  const PrivacyParams expected = reference.advanced_composition(1e-6);
+  EXPECT_DOUBLE_EQ(windowed.epsilon, expected.epsilon);
+  EXPECT_DOUBLE_EQ(windowed.delta, expected.delta);
+  // An untouched window only pays the slack.
+  EXPECT_DOUBLE_EQ(accountant.window_advanced_composition(3, 1e-6).epsilon,
+                   0.0);
+}
+
+TEST(WindowedAccountant, InvalidSpendDoesNotTouchWindow) {
+  WindowedAccountant accountant({2, 0.0});
+  EXPECT_THROW(accountant.spend(0, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_EQ(accountant.releases(), 0u);
+  EXPECT_EQ(accountant.windows_touched(), 0u);
+}
+
 }  // namespace
 }  // namespace poiprivacy::dp

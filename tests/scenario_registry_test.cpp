@@ -45,7 +45,9 @@ TEST(ScenarioRegistry, RegistrationIsCompleteAndIdempotent) {
       "ablation_recovery_models", "ablation_regressors",
       "ablation_robust_attack",  "ext_category_defense",
       "ext_chain_attack",        "uniqueness_analysis",
-      "micro_core",              "service_throughput"};
+      "micro_core",              "service_throughput",
+      "mia_raw",                 "mia_dp_sweep",
+      "mia_priors"};
   const auto& all = eval::ScenarioRegistry::instance().all();
   ASSERT_EQ(all.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -59,13 +61,18 @@ TEST(ScenarioRegistry, RegistrationIsCompleteAndIdempotent) {
             nullptr);
 }
 
-TEST(ScenarioRegistry, DuplicateAndInvalidRegistrationsThrow) {
+TEST(ScenarioRegistryDeathTest, DuplicateRegistrationAbortsWithClearMessage) {
   eval::ScenarioRegistry registry;
   eval::Scenario scenario;
   scenario.name = "dup";
   scenario.run = [](const eval::BenchOptions&) { return 0; };
   registry.add(scenario);
-  EXPECT_THROW(registry.add(scenario), std::invalid_argument);
+  EXPECT_DEATH(registry.add(scenario),
+               "fatal: duplicate scenario registration: dup");
+}
+
+TEST(ScenarioRegistry, RegistrationWithoutRunFunctionThrows) {
+  eval::ScenarioRegistry registry;
   eval::Scenario no_run;
   no_run.name = "no_run";
   EXPECT_THROW(registry.add(no_run), std::invalid_argument);

@@ -1,0 +1,128 @@
+// ml/validation ranking metrics: the exact rank-based AUC (including the
+// Mann-Whitney tie convention), the ROC sweep whose trapezoidal area must
+// reproduce the rank statistic, and the score-threshold confusion helper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/validation.h"
+
+namespace poiprivacy::ml {
+namespace {
+
+double trapezoid_area(const std::vector<RocPoint>& curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) *
+            (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return area;
+}
+
+TEST(Auc, PerfectSeparationIsOne) {
+  const std::vector<double> scores{-2.0, -1.0, 1.0, 2.0};
+  const std::vector<int> labels{-1, -1, +1, +1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 1.0);
+}
+
+TEST(Auc, ReversedSeparationIsZero) {
+  const std::vector<double> scores{2.0, 1.0, -1.0, -2.0};
+  const std::vector<int> labels{-1, -1, +1, +1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 0.0);
+}
+
+TEST(Auc, HandComputedMixedRanking) {
+  // Ascending order: -1(n) 0(p) 1(n) 2(p) 3(p); positive ranks 2, 4, 5.
+  // AUC = (11 - 3*4/2) / (3*2) = 5/6.
+  const std::vector<double> scores{0.0, 2.0, -1.0, 3.0, 1.0};
+  const std::vector<int> labels{+1, +1, -1, +1, -1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 5.0 / 6.0);
+}
+
+TEST(Auc, TiesGetHalfCredit) {
+  // One positive tied with one negative: the tied pair contributes 1/2,
+  // so AUC = 0.5 exactly.
+  const std::vector<double> scores{1.0, 1.0};
+  const std::vector<int> labels{+1, -1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 0.5);
+}
+
+TEST(Auc, ConstantScoresAreHalf) {
+  const std::vector<double> scores{7.0, 7.0, 7.0, 7.0, 7.0};
+  const std::vector<int> labels{+1, -1, +1, -1, -1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 0.5);
+}
+
+TEST(Auc, TieBlockMixedWithSeparatedPoints) {
+  // Ascending: 0(n) 1(p) 1(n) 2(p). Tied block at 1 has ranks {2,3},
+  // average 2.5. Positive rank sum = 2.5 + 4 = 6.5;
+  // AUC = (6.5 - 3) / 4 = 0.875.
+  const std::vector<double> scores{0.0, 1.0, 1.0, 2.0};
+  const std::vector<int> labels{-1, +1, -1, +1};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, labels), 0.875);
+}
+
+TEST(Auc, DegenerateSingleClassIsHalf) {
+  const std::vector<double> scores{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, std::vector<int>{+1, +1}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_from_scores(scores, std::vector<int>{-1, -1}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_from_scores({}, {}), 0.5);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  const std::vector<double> scores{0.0, 2.0, -1.0, 3.0, 1.0};
+  const std::vector<int> labels{+1, +1, -1, +1, -1};
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(Roc, TrapezoidAreaMatchesRankAucIncludingTies) {
+  const std::vector<double> scores{0.0, 1.0, 1.0, 2.0, -3.0, 1.0, 0.5};
+  const std::vector<int> labels{-1, +1, -1, +1, -1, +1, -1};
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_NEAR(trapezoid_area(curve), auc_from_scores(scores, labels), 1e-12);
+}
+
+TEST(Roc, PerfectClassifierIsUnitStep) {
+  const std::vector<double> scores{-1.0, 1.0};
+  const std::vector<int> labels{-1, +1};
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_NEAR(trapezoid_area(curve), 1.0, 1e-12);
+}
+
+TEST(ConfusionFromScores, ThresholdSplitsPredictions) {
+  const std::vector<double> scores{-1.0, -0.5, 0.5, 1.0};
+  const std::vector<int> labels{-1, +1, -1, +1};
+  const ConfusionMatrix matrix = confusion_from_scores(scores, labels, 0.0);
+  EXPECT_EQ(matrix.total(), 4u);
+  EXPECT_EQ(matrix.count(-1, -1), 1u);  // -1.0 below threshold
+  EXPECT_EQ(matrix.count(+1, -1), 1u);  // -0.5 below threshold
+  EXPECT_EQ(matrix.count(-1, +1), 1u);  // 0.5 at/above threshold
+  EXPECT_EQ(matrix.count(+1, +1), 1u);  // 1.0 at/above threshold
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.5);
+}
+
+TEST(MacroF1, PerfectAndDegenerateCases) {
+  ConfusionMatrix perfect;
+  perfect.add(+1, +1);
+  perfect.add(-1, -1);
+  EXPECT_DOUBLE_EQ(macro_f1(perfect), 1.0);
+
+  ConfusionMatrix all_wrong;
+  all_wrong.add(+1, -1);
+  all_wrong.add(-1, +1);
+  EXPECT_DOUBLE_EQ(macro_f1(all_wrong), 0.0);
+
+  EXPECT_DOUBLE_EQ(macro_f1(ConfusionMatrix{}), 0.0);
+}
+
+}  // namespace
+}  // namespace poiprivacy::ml
