@@ -3,21 +3,32 @@
 // users x threads point. Human-readable context goes to stderr; stdout
 // is one JSON object so sweep scripts can ingest the numbers directly:
 //
-//   ./bench/poibench --scenario service_throughput --users 1000 \
-//       --requests 20 --threads 8
+//   ./bench/poibench --scenario service_throughput
+//       --users 1000 --requests 20 --threads 8
 //
 // The default trace is 1,000 users x 20 requests = 20,000 requests.
 // Results (statuses, vectors, counters) are bit-identical for any
 // --threads; only the timing numbers vary (hence deterministic=false).
+//
+// With --connections N the same trace is instead driven through the TCP
+// front-end (src/net): a loopback ReleaseServer with --threads workers,
+// N client connections each owning the trace slice of users hashed to
+// it (preserving per-user request order, so admission sequences match
+// the batch path's), --pipeline frames in flight per connection. The
+// JSON then reports the wire path's numbers ("transport": "tcp") with
+// admission counters from the concurrent-path stats.
 #include <cstdint>
 #include <ctime>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "eval/json.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "poi/city_model.h"
 #include "scenarios/scenarios.h"
 #include "service/workload.h"
@@ -62,9 +73,19 @@ int run(const eval::BenchOptions& options) {
   const std::vector<service::ReleaseRequest> trace =
       service::requests_of(service::generate_workload(city, workload));
 
+  const auto connections = static_cast<std::size_t>(
+      options.flags.get("connections", std::int64_t{0}));
+  const auto pipeline = static_cast<std::size_t>(
+      options.flags.get("pipeline", std::int64_t{1}));
+
   std::cerr << "service_throughput: " << trace.size() << " requests, "
             << users << " users, threads=" << threads
-            << ", batch=" << config.max_batch << "\n";
+            << ", batch=" << config.max_batch
+            << (connections > 0
+                    ? ", tcp connections=" + std::to_string(connections) +
+                          " pipeline=" + std::to_string(pipeline)
+                    : std::string(", in-process"))
+            << "\n";
 
   // Process CPU time brackets the serve: on a single-core host wall
   // clock mostly tracks scheduler noise, so per-request CPU time is the
@@ -72,45 +93,115 @@ int run(const eval::BenchOptions& options) {
   timespec cpu0{};
   clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu0);
   const common::Stopwatch timer;
-  const std::vector<service::ReleaseResult> results = gsp.serve(trace);
+  std::vector<double> latencies_ms;
+  std::size_t served = 0;
+  std::size_t transport_errors = 0;
+  if (connections == 0) {
+    const std::vector<service::ReleaseResult> results = gsp.serve(trace);
+    served = results.size();
+  } else {
+    net::ServerConfig server_config;
+    server_config.workers = threads;
+    net::ReleaseServer server(gsp, server_config);
+    server.start();
+    // Users partition across connections (a user's requests stay on one
+    // connection, in trace order, so its admission sequence matches the
+    // batch path's); each connection keeps up to `pipeline` frames in
+    // flight. Latencies are only meaningful unpipelined, so they are
+    // recorded per round trip when pipeline == 1.
+    std::vector<std::vector<service::ReleaseRequest>> slices(connections);
+    for (const service::ReleaseRequest& request : trace) {
+      slices[request.user_id % connections].push_back(request);
+    }
+    std::vector<std::size_t> ok_counts(connections, 0);
+    std::vector<std::size_t> err_counts(connections, 0);
+    std::vector<std::vector<double>> rtts(connections);
+    std::vector<std::thread> drivers;
+    drivers.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      drivers.emplace_back([&, c] {
+        net::Client client = net::Client::connect("127.0.0.1", server.port());
+        if (!client.connected()) {
+          err_counts[c] = slices[c].size();
+          return;
+        }
+        const std::size_t depth = pipeline == 0 ? 1 : pipeline;
+        std::size_t sent = 0, received = 0;
+        const std::size_t n = slices[c].size();
+        while (received < n) {
+          const common::Stopwatch rtt;
+          while (sent < n && sent - received < depth) {
+            if (!client.send(slices[c][sent])) {
+              err_counts[c] += n - received;
+              return;
+            }
+            ++sent;
+          }
+          if (!client.recv()) {
+            err_counts[c] += n - received;
+            return;
+          }
+          ++received;
+          ++ok_counts[c];
+          if (depth == 1) rtts[c].push_back(rtt.seconds() * 1e3);
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    server.stop();
+    for (std::size_t c = 0; c < connections; ++c) {
+      served += ok_counts[c];
+      transport_errors += err_counts[c];
+      latencies_ms.insert(latencies_ms.end(), rtts[c].begin(), rtts[c].end());
+    }
+  }
   const double seconds = timer.seconds();
   timespec cpu1{};
   clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &cpu1);
   const double cpu_seconds = static_cast<double>(cpu1.tv_sec - cpu0.tv_sec) +
                              static_cast<double>(cpu1.tv_nsec - cpu0.tv_nsec) / 1e9;
 
-  // Per-request latency: each request is attributed its batch's drain
-  // time divided by the batch size (requests in a batch are served
-  // together, so that is the time one of them occupied the service).
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(results.size());
-  const std::vector<double>& batch_seconds = gsp.batch_seconds();
-  const std::vector<std::size_t>& batch_sizes = gsp.batch_sizes();
-  for (std::size_t b = 0; b < batch_seconds.size(); ++b) {
-    const double per_request_ms =
-        batch_seconds[b] * 1e3 / static_cast<double>(batch_sizes[b]);
-    for (std::size_t i = 0; i < batch_sizes[b]; ++i) {
-      latencies_ms.push_back(per_request_ms);
+  // Per-request latency for the batch path: each request is attributed
+  // its batch's drain time divided by the batch size (requests in a
+  // batch are served together, so that is the time one of them occupied
+  // the service). The TCP path filled latencies_ms with round trips.
+  if (connections == 0) {
+    latencies_ms.reserve(served);
+    const std::vector<double>& batch_seconds = gsp.batch_seconds();
+    const std::vector<std::size_t>& batch_sizes = gsp.batch_sizes();
+    for (std::size_t b = 0; b < batch_seconds.size(); ++b) {
+      const double per_request_ms =
+          batch_seconds[b] * 1e3 / static_cast<double>(batch_sizes[b]);
+      for (std::size_t i = 0; i < batch_sizes[b]; ++i) {
+        latencies_ms.push_back(per_request_ms);
+      }
     }
   }
   const common::Percentiles latency = common::percentiles(latencies_ms);
-  const service::ServiceStats& stats = gsp.stats();
+  const service::ServiceStats stats =
+      connections == 0 ? gsp.stats() : gsp.concurrent_stats();
   const service::ReleaseCacheStats cache = gsp.cache_stats();
 
   eval::JsonWriter json;
   json.begin_object();
   json.field("bench", "service_throughput");
+  json.field("transport", connections == 0 ? "inproc" : "tcp");
+  json.field("connections", static_cast<std::uint64_t>(connections));
+  json.field("pipeline", static_cast<std::uint64_t>(pipeline));
   json.field("users", static_cast<std::uint64_t>(users));
   json.field("requests", static_cast<std::uint64_t>(trace.size()));
+  json.field("served", static_cast<std::uint64_t>(served));
+  json.field("transport_errors",
+             static_cast<std::uint64_t>(transport_errors));
   json.field("threads", static_cast<std::uint64_t>(threads));
   json.field("batch", static_cast<std::uint64_t>(config.max_batch));
   json.field("seed", seed);
   json.field("seconds", seconds);
   json.field("cpu_seconds", cpu_seconds);
-  json.field("requests_per_sec",
-             static_cast<double>(trace.size()) / seconds);
+  json.field("requests_per_sec", static_cast<double>(served) / seconds);
   json.field("cpu_us_per_request",
-             cpu_seconds * 1e6 / static_cast<double>(trace.size()));
+             cpu_seconds * 1e6 /
+                 static_cast<double>(served == 0 ? 1 : served));
   json.key("latency_ms");
   json.begin_object();
   json.field("p50", latency.p50);
@@ -128,8 +219,16 @@ int run(const eval::BenchOptions& options) {
   json.field("hits", stats.cache_hits);
   json.field("misses", stats.cache_misses);
   json.field("hit_rate", stats.cache_hit_rate());
-  json.field("evictions", cache.evictions);
+  json.field("evictions", cache.evictions());
   json.field("entries", cache.entries);
+  json.end_object();
+  const service::SessionTableStats sessions = gsp.session_stats();
+  json.key("sessions");
+  json.begin_object();
+  json.field("resident", sessions.sessions);
+  json.field("created", sessions.sessions_created);
+  json.field("evictions_ttl", sessions.evictions_ttl);
+  json.field("full_refusals", sessions.full_refusals);
   json.end_object();
   json.field("users_seen", static_cast<std::uint64_t>(gsp.num_users()));
   json.field("batches", stats.batches);
@@ -143,9 +242,11 @@ int run(const eval::BenchOptions& options) {
 void register_service_throughput(eval::ScenarioRegistry& registry) {
   registry.add({
       .name = "service_throughput",
-      .description = "Serving-layer throughput/latency JSON benchmark "
+      .description = "Serving-layer throughput/latency JSON benchmark, "
+                     "in-process or over the TCP front-end "
                      "(timings, so --all skips it)",
-      .extra_flags = {"users", "requests", "batch", "cache", "ceiling"},
+      .extra_flags = {"users", "requests", "batch", "cache", "ceiling",
+                      "connections", "pipeline"},
       .smoke_args = {"--users", "50", "--requests", "5", "--seed", "4242"},
       .deterministic = false,
       .run = run,

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   eval::print_note(std::cout,
                    "resident entries: " + std::to_string(cache.entries) +
                        " of " + std::to_string(gsp.config().cache_capacity) +
-                       ", evictions: " + std::to_string(cache.evictions));
+                       ", evictions: " + std::to_string(cache.evictions()));
   eval::print_note(std::cout,
                    "users seen: " + std::to_string(gsp.num_users()) +
                        ", batches: " + std::to_string(stats.batches));

@@ -5,7 +5,11 @@
 #   BENCH_micro_core.json           kernel microbenches (ops/sec, per-op
 #                                   CPU time, wall-clock p50/p95/p99)
 #   BENCH_service_throughput.json   serving-layer req/s + latency
-#                                   percentiles + per-request CPU time
+#                                   percentiles + per-request CPU time,
+#                                   one "single_core" in-process pass and
+#                                   one "multi_connection" pass over the
+#                                   TCP front-end (--threads 8, 4
+#                                   loopback connections, pipelined)
 #   BENCH_mia.json                  membership-inference AUC vs epsilon
 #                                   (the mia_dp_sweep table)
 #
@@ -29,9 +33,30 @@ echo "== bench.sh: micro_core kernel benches =="
   --json "$outdir/BENCH_micro_core.json" --threads 1
 echo "wrote $outdir/BENCH_micro_core.json"
 
-echo "== bench.sh: service_throughput =="
+echo "== bench.sh: service_throughput (single-core + multi-connection) =="
+svc_single="$(mktemp)"
+svc_multi="$(mktemp)"
 ./build-release/bench/poibench --scenario service_throughput --threads 1 \
-  > "$outdir/BENCH_service_throughput.json"
+  > "$svc_single"
+./build-release/bench/poibench --scenario service_throughput --threads 8 \
+  --connections 4 --pipeline 16 > "$svc_multi"
+python3 - "$svc_single" "$svc_multi" "$outdir/BENCH_service_throughput.json" <<'EOF'
+import json, sys
+single, multi, out = sys.argv[1:4]
+doc = {
+    "bench": "service_throughput",
+    "single_core": json.load(open(single)),
+    "multi_connection": json.load(open(multi)),
+}
+doc["speedup_multi_vs_single"] = (
+    doc["multi_connection"]["requests_per_sec"]
+    / doc["single_core"]["requests_per_sec"])
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print("multi/single throughput: %.2fx" % doc["speedup_multi_vs_single"])
+EOF
+rm -f "$svc_single" "$svc_multi"
 echo "wrote $outdir/BENCH_service_throughput.json"
 
 echo "== bench.sh: mia_dp_sweep =="

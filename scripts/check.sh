@@ -20,7 +20,11 @@
 #   7. an Address+UB-Sanitizer build running the kernel, fingerprint and
 #      tile-window property suites under both the native and the scalar
 #      tier (the explicit SIMD kernels read memory in 32-byte gulps;
-#      ASan/UBSan prove the tails stay in bounds).
+#      ASan/UBSan prove the tails stay in bounds),
+#   8. the serving-layer concurrency gate: the session-shard stress,
+#      property and net-framing suites re-run under the ThreadSanitizer
+#      build, then a Release loopback smoke drives the TCP front-end
+#      (poibench --connections) and asserts every request came back.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -28,20 +32,20 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/7] plain build + tier-1 tests =="
+echo "== [1/8] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/7] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/8] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/7] metrics determinism at --threads 1/2/8 =="
+echo "== [3/8] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
 
-echo "== [4/7] poibench --all --smoke determinism at --threads 1/8 =="
+echo "== [4/8] poibench --all --smoke determinism at --threads 1/8 =="
 cmake --build build -j "$jobs" --target poibench
 smoke_t1="$(mktemp)"
 smoke_t8="$(mktemp)"
@@ -57,7 +61,7 @@ done
 echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8 (mia_* present)"
 rm -f "$smoke_t1" "$smoke_t8"
 
-echo "== [5/7] Release bench smoke =="
+echo "== [5/8] Release bench smoke =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" --target poibench
 smoke_json="$(mktemp)"
@@ -72,7 +76,7 @@ print('bench smoke:', len(doc['results']), 'benchmarks ran')
 "
 rm -f "$smoke_json"
 
-echo "== [6/7] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
+echo "== [6/8] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
 (cd build && POIPRIVACY_KERNEL=scalar ctest -L tier1 --output-on-failure -j "$jobs")
 for threads in 1 2 8; do
   smoke_scalar="$(mktemp)"
@@ -86,7 +90,7 @@ for threads in 1 2 8; do
   echo "poibench smoke: scalar == native tier at --threads $threads"
 done
 
-echo "== [7/7] ASan/UBSan build + kernel property suites per tier =="
+echo "== [7/8] ASan/UBSan build + kernel property suites per tier =="
 cmake -B build-asan -S . -DPOIPRIVACY_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   kernel_property_test fingerprint_property_test tile_window_property_test
@@ -100,5 +104,29 @@ for tier in native scalar; do
     echo "asan: $suite clean under $tier tier"
   done
 done
+
+echo "== [8/8] serving layer: stress/property/framing under TSan + TCP loopback smoke =="
+for suite in service_stress_test session_shard_property_test net_framing_test; do
+  cmake --build build-tsan -j "$jobs" --target "$suite" >/dev/null
+  "./build-tsan/tests/$suite" --gtest_brief=1 >/dev/null
+  echo "tsan: $suite clean"
+done
+loopback_json="$(mktemp)"
+./build-release/bench/poibench --scenario service_throughput \
+  --users 50 --requests 5 --seed 4242 --threads 2 \
+  --connections 4 --pipeline 8 2>/dev/null > "$loopback_json"
+python3 -c "
+import json
+with open('$loopback_json') as f:
+    doc = json.load(f)
+assert doc['transport'] == 'tcp' and doc['connections'] == 4, doc
+assert doc['served'] == doc['requests'], (doc['served'], doc['requests'])
+assert doc['transport_errors'] == 0, doc['transport_errors']
+total = sum(doc['status'].values())
+assert total == doc['served'], (total, doc['served'])
+print('loopback smoke:', doc['served'], 'requests served over',
+      doc['connections'], 'connections,', doc['status'])
+"
+rm -f "$loopback_json"
 
 echo "check.sh: all gates passed"

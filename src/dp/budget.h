@@ -1,0 +1,162 @@
+// Lock-free fixed-point privacy budgets — the admission hot path of the
+// serving layer.
+//
+// PrivacyAccountant composes a user's release history exactly, but its
+// admission predicates cost a map copy (and exp/log for the advanced
+// bound) per request and need external locking for concurrent use. The
+// serving layer's admission decision, however, only needs the running
+// basic composition against a fixed ceiling — a pair of bounded sums.
+// This header makes that pair a single 64-bit word:
+//
+//   bits 63..32  charged epsilon, units of 1e-6   (max ~4294 epsilon)
+//   bits 31..0   charged delta,   units of 1e-9   (max ~4.29 delta)
+//
+// so `try_charge` is one compare-and-swap: load the word, add the cost,
+// refuse if either component would pass its ceiling, CAS. Admission is
+// linearizable — under any interleaving of concurrent charges a user's
+// spent budget can never exceed the ceiling, and no mutex is taken.
+//
+// Quantization contract (also the determinism contract with the old
+// double-based path): costs and ceilings are rounded to the NEAREST
+// unit, so every policy epsilon/delta that is exact in 1e-6/1e-9 units
+// (0.25, 0.5, 1.0, 0.05, ...) composes bit-identically to the double
+// sums; a policy epsilon below half a unit still charges one full unit
+// (a charge may never round to free). Sub-nano deltas (the Gaussian
+// 1e-12 floor) do round to zero — the delta ledger's granularity is
+// 1e-9, which undercounts such a policy by < 1e-9 per release.
+//
+// Composition semantics: the ledger is BASIC composition. Where the
+// session layer's tightest-of(basic, advanced) bound is tighter (many
+// releases at a small epsilon), the ledger refuses no later than a
+// basic-composition accountant would — admission under the ledger is
+// never looser than the bound it enforces. Advanced composition remains
+// available offline via dp::PrivacyAccountant.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "dp/mechanisms.h"
+
+namespace poiprivacy::dp {
+
+/// A privacy budget in fixed point: epsilon in 1e-6 units, delta in 1e-9
+/// units. Saturates at the 32-bit ceiling (~4294 epsilon / ~4.29 delta),
+/// which reads as "effectively unbounded" for any realistic ceiling.
+struct FixedBudget {
+  std::uint32_t epsilon_units = 0;
+  std::uint32_t delta_units = 0;
+
+  static constexpr double kEpsilonScale = 1e6;
+  static constexpr double kDeltaScale = 1e9;
+  static constexpr std::uint32_t kMaxUnits = 0xffffffffu;
+
+  /// Nearest-unit quantization; a positive epsilon never rounds to free.
+  static FixedBudget cost_of(PrivacyParams params) noexcept {
+    FixedBudget cost;
+    cost.epsilon_units = quantize(params.epsilon, kEpsilonScale);
+    if (params.epsilon > 0.0 && cost.epsilon_units == 0) {
+      cost.epsilon_units = 1;
+    }
+    cost.delta_units = quantize(params.delta, kDeltaScale);
+    return cost;
+  }
+
+  /// Ceilings quantize like costs (nearest unit, saturating).
+  static FixedBudget ceiling_of(double epsilon_ceiling,
+                                double delta_ceiling) noexcept {
+    return {quantize(epsilon_ceiling, kEpsilonScale),
+            quantize(delta_ceiling, kDeltaScale)};
+  }
+
+  PrivacyParams params() const noexcept {
+    return {static_cast<double>(epsilon_units) / kEpsilonScale,
+            static_cast<double>(delta_units) / kDeltaScale};
+  }
+
+  friend bool operator==(const FixedBudget&, const FixedBudget&) = default;
+
+ private:
+  static std::uint32_t quantize(double v, double scale) noexcept {
+    if (!(v > 0.0)) return 0;
+    const double units = v * scale;
+    if (units >= static_cast<double>(kMaxUnits)) return kMaxUnits;
+    return static_cast<std::uint32_t>(std::llround(units));
+  }
+};
+
+/// The packed-word ledger for one principal. All operations are lock-free
+/// and linearizable; `try_charge` is the only mutator on the hot path.
+class AtomicBudgetMeter {
+ public:
+  /// Charges `cost` unless either component would pass its ceiling.
+  /// Returns false (and charges nothing) when the charge would exceed.
+  bool try_charge(FixedBudget cost, FixedBudget ceiling) noexcept {
+    std::uint64_t seen = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const FixedBudget next = add(unpack(seen), cost);
+      if (next.epsilon_units > ceiling.epsilon_units ||
+          next.delta_units > ceiling.delta_units) {
+        return false;
+      }
+      if (word_.compare_exchange_weak(seen, pack(next),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Advisory peek (a concurrent charge can invalidate it immediately;
+  /// the authoritative admission check is try_charge itself).
+  bool would_exceed(FixedBudget cost, FixedBudget ceiling) const noexcept {
+    const FixedBudget next = add(spent(), cost);
+    return next.epsilon_units > ceiling.epsilon_units ||
+           next.delta_units > ceiling.delta_units;
+  }
+
+  FixedBudget spent() const noexcept {
+    return unpack(word_.load(std::memory_order_acquire));
+  }
+
+  FixedBudget remaining(FixedBudget ceiling) const noexcept {
+    const FixedBudget used = spent();
+    return {used.epsilon_units >= ceiling.epsilon_units
+                ? 0
+                : ceiling.epsilon_units - used.epsilon_units,
+            used.delta_units >= ceiling.delta_units
+                ? 0
+                : ceiling.delta_units - used.delta_units};
+  }
+
+  /// Budget renewal (TTL eviction / tests). Not linearizable with
+  /// concurrent charges by design — callers quiesce first.
+  void reset() noexcept { word_.store(0, std::memory_order_release); }
+
+ private:
+  static std::uint64_t pack(FixedBudget b) noexcept {
+    return (static_cast<std::uint64_t>(b.epsilon_units) << 32) |
+           b.delta_units;
+  }
+  static FixedBudget unpack(std::uint64_t w) noexcept {
+    return {static_cast<std::uint32_t>(w >> 32),
+            static_cast<std::uint32_t>(w & 0xffffffffu)};
+  }
+  /// Saturating add: a meter near the 32-bit rim refuses (via the ceiling
+  /// check) rather than wrapping.
+  static FixedBudget add(FixedBudget a, FixedBudget b) noexcept {
+    const std::uint64_t eps = std::uint64_t{a.epsilon_units} + b.epsilon_units;
+    const std::uint64_t del = std::uint64_t{a.delta_units} + b.delta_units;
+    return {eps > FixedBudget::kMaxUnits
+                ? FixedBudget::kMaxUnits
+                : static_cast<std::uint32_t>(eps),
+            del > FixedBudget::kMaxUnits
+                ? FixedBudget::kMaxUnits
+                : static_cast<std::uint32_t>(del)};
+  }
+
+  std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace poiprivacy::dp

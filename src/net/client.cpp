@@ -1,0 +1,55 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace poiprivacy::net {
+
+Client Client::connect(const std::string& address, std::uint16_t port) {
+  Client client;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return client;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+          0) {
+    ::close(fd);
+    return client;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send(const service::ReleaseRequest& request) {
+  if (fd_ < 0) return false;
+  encode_request(request, scratch_);
+  return write_frame(fd_, scratch_);
+}
+
+std::optional<service::ReleaseResult> Client::recv() {
+  if (fd_ < 0) return std::nullopt;
+  if (read_frame(fd_, scratch_) != FrameIo::kOk) return std::nullopt;
+  return decode_response(scratch_);
+}
+
+std::optional<service::ReleaseResult> Client::call(
+    const service::ReleaseRequest& request) {
+  if (!send(request)) return std::nullopt;
+  return recv();
+}
+
+}  // namespace poiprivacy::net

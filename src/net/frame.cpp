@@ -1,0 +1,175 @@
+#include "net/frame.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace poiprivacy::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-unchecked little-endian reads; callers check sizes up front.
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+double get_f64(const std::uint8_t* p) noexcept {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+bool valid_status(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(service::ReleaseStatus::kInvalidRequest);
+}
+
+/// Reads exactly n bytes. 0 = done, 1 = clean EOF before any byte,
+/// -1 = error or EOF mid-read.
+int read_exact(int fd, std::uint8_t* buf, std::size_t n) noexcept {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got == 0 ? 1 : -1;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return 0;
+}
+
+bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) noexcept {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, buf + sent, n - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void encode_request(const service::ReleaseRequest& request,
+                    std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kRequestBodyBytes);
+  put_u64(out, request.user_id);
+  put_f64(out, request.location.x);
+  put_f64(out, request.location.y);
+  put_f64(out, request.radius);
+  put_u32(out, request.policy);
+}
+
+std::optional<service::ReleaseRequest> decode_request(
+    std::span<const std::uint8_t> body) {
+  if (body.size() != kRequestBodyBytes) return std::nullopt;
+  service::ReleaseRequest request;
+  const std::uint8_t* p = body.data();
+  request.user_id = get_u64(p);
+  request.location.x = get_f64(p + 8);
+  request.location.y = get_f64(p + 16);
+  request.radius = get_f64(p + 24);
+  request.policy = get_u32(p + 32);
+  return request;
+}
+
+void encode_response(const service::ReleaseResult& result,
+                     std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(1 + 4 + 1 + 8 + 8 + 4 + result.vector.size() * 4);
+  out.push_back(static_cast<std::uint8_t>(result.status));
+  put_u32(out, result.served_policy);
+  out.push_back(result.cache_hit ? 1 : 0);
+  put_f64(out, result.spent.epsilon);
+  put_f64(out, result.spent.delta);
+  put_u32(out, static_cast<std::uint32_t>(result.vector.size()));
+  for (const std::int32_t v : result.vector) {
+    put_u32(out, static_cast<std::uint32_t>(v));
+  }
+}
+
+std::optional<service::ReleaseResult> decode_response(
+    std::span<const std::uint8_t> body) {
+  constexpr std::size_t kHeader = 1 + 4 + 1 + 8 + 8 + 4;
+  if (body.size() < kHeader) return std::nullopt;
+  const std::uint8_t* p = body.data();
+  if (!valid_status(p[0]) || p[5] > 1) return std::nullopt;
+  service::ReleaseResult result;
+  result.status = static_cast<service::ReleaseStatus>(p[0]);
+  result.served_policy = get_u32(p + 1);
+  result.cache_hit = p[5] != 0;
+  result.spent.epsilon = get_f64(p + 6);
+  result.spent.delta = get_f64(p + 14);
+  const std::uint32_t count = get_u32(p + 22);
+  if (body.size() != kHeader + std::size_t{count} * 4) return std::nullopt;
+  result.vector.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    result.vector[i] = static_cast<std::int32_t>(get_u32(p + kHeader + i * 4));
+  }
+  return result;
+}
+
+FrameIo read_frame(int fd, std::vector<std::uint8_t>& body,
+                   std::size_t max_bytes) {
+  std::uint8_t header[4];
+  switch (read_exact(fd, header, sizeof header)) {
+    case 1:
+      return FrameIo::kClosed;
+    case -1:
+      return FrameIo::kError;
+    default:
+      break;
+  }
+  const std::uint32_t length = get_u32(header);
+  if (length > max_bytes) return FrameIo::kTooLarge;
+  body.resize(length);
+  if (length > 0 && read_exact(fd, body.data(), length) != 0) {
+    return FrameIo::kError;
+  }
+  return FrameIo::kOk;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBytes) return false;
+  std::uint8_t header[4];
+  const auto length = static_cast<std::uint32_t>(body.size());
+  header[0] = static_cast<std::uint8_t>(length);
+  header[1] = static_cast<std::uint8_t>(length >> 8);
+  header[2] = static_cast<std::uint8_t>(length >> 16);
+  header[3] = static_cast<std::uint8_t>(length >> 24);
+  if (!write_exact(fd, header, sizeof header)) return false;
+  return body.empty() || write_exact(fd, body.data(), body.size());
+}
+
+}  // namespace poiprivacy::net

@@ -1,0 +1,69 @@
+// Length-prefixed binary wire format for the release service.
+//
+// The socket front-end (server.h) speaks the simplest protocol that can
+// carry a ReleaseRequest/ReleaseResult pair: every message is one frame,
+//
+//   [u32 little-endian body length][body bytes]
+//
+// with the body length capped (kMaxFrameBytes) so a hostile or corrupt
+// peer cannot make the server allocate unboundedly. Integers are
+// little-endian, doubles are their IEEE-754 bit patterns as u64 —
+// serialization is byte-exact, so a vector released over the wire
+// compares bit-identical to one released in process.
+//
+//   request body (kRequestBodyBytes, fixed):
+//     u64 user_id | f64 x | f64 y | f64 radius | u32 policy
+//   response body (variable):
+//     u8 status | u32 served_policy | u8 cache_hit |
+//     f64 spent_epsilon | f64 spent_delta | u32 count | count x i32
+//
+// The codec layer (encode_/decode_) is pure — bytes in, structs out — so
+// tests exercise truncation/oversize/round-trip without a socket. The
+// frame I/O layer (read_frame/write_frame) handles short reads/writes
+// and EINTR on a blocking fd; a clean EOF *between* frames is kClosed,
+// an EOF inside a frame is kError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "service/release_service.h"
+
+namespace poiprivacy::net {
+
+/// Hard cap on a frame body. A response is dominated by the released
+/// vector (num_types i32s); 1 MiB allows ~260k POI types.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
+inline constexpr std::size_t kRequestBodyBytes = 8 + 8 + 8 + 8 + 4;
+
+// -- codec (pure; nullopt on malformed bytes) --
+
+void encode_request(const service::ReleaseRequest& request,
+                    std::vector<std::uint8_t>& out);
+std::optional<service::ReleaseRequest> decode_request(
+    std::span<const std::uint8_t> body);
+
+void encode_response(const service::ReleaseResult& result,
+                     std::vector<std::uint8_t>& out);
+std::optional<service::ReleaseResult> decode_response(
+    std::span<const std::uint8_t> body);
+
+// -- frame I/O on a blocking fd --
+
+enum class FrameIo : std::uint8_t {
+  kOk = 0,     ///< one whole frame read
+  kClosed,     ///< clean EOF on a frame boundary
+  kTooLarge,   ///< header announced more than max_bytes; nothing consumed after it
+  kError,      ///< truncated frame or I/O error
+};
+
+/// Reads exactly one frame body into `body` (replaced, not appended).
+FrameIo read_frame(int fd, std::vector<std::uint8_t>& body,
+                   std::size_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame (header + body), looping over short writes.
+bool write_frame(int fd, std::span<const std::uint8_t> body);
+
+}  // namespace poiprivacy::net

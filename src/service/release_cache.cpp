@@ -33,10 +33,12 @@ std::uint64_t ReleaseCache::hash(const ReleaseCacheKey& key) noexcept {
   return h;
 }
 
-ReleaseCache::ReleaseCache(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity == 0 ? 1 : capacity) {
-  const std::size_t n = std::min(shards == 0 ? 1 : shards, capacity_);
-  shard_capacity_ = (capacity_ + n - 1) / n;
+ReleaseCache::ReleaseCache(ReleaseCacheConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  const std::size_t n =
+      std::min(config_.shards == 0 ? 1 : config_.shards, config_.capacity);
+  config_.shards = n;
+  shard_capacity_ = (config_.capacity + n - 1) / n;
   shards_ = std::vector<Shard>(n);
   // Per-shard registry counters; shardNN names are shared across cache
   // instances (and with POIPRIVACY_NO_METRICS all handles are the same
@@ -49,7 +51,10 @@ ReleaseCache::ReleaseCache(std::size_t capacity, std::size_t shards)
     const std::string prefix(name);
     shard_metrics_[i].hits = &registry.counter(prefix + ".hits");
     shard_metrics_[i].misses = &registry.counter(prefix + ".misses");
-    shard_metrics_[i].evictions = &registry.counter(prefix + ".evictions");
+    shard_metrics_[i].evictions_lru =
+        &registry.counter(prefix + ".evictions_lru");
+    shard_metrics_[i].evictions_ttl =
+        &registry.counter(prefix + ".evictions_ttl");
   }
   entries_gauge_ = &registry.gauge("release_cache.entries");
 }
@@ -67,6 +72,7 @@ std::shared_ptr<const CloakAggregate> ReleaseCache::get(
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second->touch_epoch = epoch_.load(std::memory_order_relaxed);
   ++shard.hits;
   shard_metrics_[idx].hits->add(1);
   return it->second->value;
@@ -77,23 +83,55 @@ void ReleaseCache::put(const ReleaseCacheKey& key,
   const std::size_t idx = hash(key) % shards_.size();
   Shard& shard = shards_[idx];
   const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     it->second->value = std::move(value);
+    it->second->touch_epoch = now;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   ++shard.misses;
   shard_metrics_[idx].misses->add(1);
   entries_gauge_->add(1);
-  shard.lru.push_front({key, std::move(value)});
+  shard.lru.push_front({key, std::move(value), now});
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    ++shard.evictions;
-    shard_metrics_[idx].evictions->add(1);
+    ++shard.evictions_lru;
+    shard_metrics_[idx].evictions_lru->add(1);
     entries_gauge_->add(-1);
   }
+}
+
+void ReleaseCache::advance_epoch(std::uint64_t ticks) noexcept {
+  epoch_.fetch_add(ticks, std::memory_order_relaxed);
+}
+
+std::uint64_t ReleaseCache::epoch() const noexcept {
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+std::size_t ReleaseCache::evict_expired() {
+  if (config_.ttl_epochs == 0) return 0;
+  const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
+  std::size_t evicted = 0;
+  for (std::size_t idx = 0; idx < shards_.size(); ++idx) {
+    Shard& shard = shards_[idx];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    // Recency order implies stamp order, so the expired entries are
+    // exactly a suffix of the LRU list: pop from the tail until fresh.
+    while (!shard.lru.empty() &&
+           shard.lru.back().touch_epoch + config_.ttl_epochs <= now) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.evictions_ttl;
+      shard_metrics_[idx].evictions_ttl->add(1);
+      entries_gauge_->add(-1);
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 ReleaseCacheStats ReleaseCache::stats() const {
@@ -102,7 +140,8 @@ ReleaseCacheStats ReleaseCache::stats() const {
     const std::lock_guard<std::mutex> lock(shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
-    out.evictions += shard.evictions;
+    out.evictions_lru += shard.evictions_lru;
+    out.evictions_ttl += shard.evictions_ttl;
     out.entries += shard.lru.size();
   }
   return out;

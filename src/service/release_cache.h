@@ -17,6 +17,18 @@
 // are LRU-evicted per shard. Values are handed out as shared_ptr so an
 // in-flight request survives the eviction of its entry.
 //
+// Two eviction policies run side by side, each with its own counter:
+//   * capacity (LRU): a full shard drops its least-recently-used entry
+//     on insert — `evictions_lru`;
+//   * TTL: the cache has a logical epoch (advance_epoch, owner-driven);
+//     every hit/insert stamps the entry, and evict_expired() drops
+//     entries untouched for `ttl_epochs` — `evictions_ttl`. A TTL of 0
+//     (the default) disables expiry. Because recency order implies
+//     stamp order, expired entries are always a suffix of a shard's LRU
+//     list, so a sweep pops from the tail and costs O(evicted).
+// Either way an evicted aggregate is only ever *recomputed* — it is a
+// pure function of its key, so eviction never changes a released vector.
+//
 // Thread safety: every operation locks its shard, so concurrent use is
 // safe. Determinism of the hit/miss/eviction counters, however, is the
 // caller's job: ReleaseService probes and inserts serially in request
@@ -24,6 +36,7 @@
 // counters and the eviction sequence bit-identical for any --threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -64,9 +77,13 @@ struct CloakAggregate {
 struct ReleaseCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;  ///< insertions (== distinct keys computed)
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions_lru = 0;  ///< capacity evictions at insert
+  std::uint64_t evictions_ttl = 0;  ///< expiry evictions by evict_expired()
   std::uint64_t entries = 0;  ///< current resident entries
 
+  std::uint64_t evictions() const noexcept {
+    return evictions_lru + evictions_ttl;
+  }
   std::uint64_t lookups() const noexcept { return hits + misses; }
   double hit_rate() const noexcept {
     return lookups() == 0
@@ -77,13 +94,22 @@ struct ReleaseCacheStats {
                          const ReleaseCacheStats&) = default;
 };
 
+struct ReleaseCacheConfig {
+  std::size_t capacity = 4096;  ///< total entries across all shards
+  std::size_t shards = 16;
+  std::uint64_t ttl_epochs = 0;  ///< 0 disables TTL expiry
+};
+
 class ReleaseCache {
  public:
   /// `capacity` entries total, spread over `shards` independent LRU lists
   /// (each holding ceil(capacity / shards)).
-  explicit ReleaseCache(std::size_t capacity, std::size_t shards = 16);
+  explicit ReleaseCache(std::size_t capacity, std::size_t shards = 16)
+      : ReleaseCache(ReleaseCacheConfig{capacity, shards, 0}) {}
+  explicit ReleaseCache(ReleaseCacheConfig config);
 
-  /// The aggregate for `key`, refreshing its LRU position, or nullptr.
+  /// The aggregate for `key`, refreshing its LRU position and TTL stamp,
+  /// or nullptr.
   std::shared_ptr<const CloakAggregate> get(const ReleaseCacheKey& key);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU entry when
@@ -91,8 +117,17 @@ class ReleaseCache {
   void put(const ReleaseCacheKey& key,
            std::shared_ptr<const CloakAggregate> value);
 
+  /// Owner-driven epoch clock for TTL expiry (no-op bookkeeping when
+  /// ttl_epochs is 0). advance_epoch never evicts by itself.
+  void advance_epoch(std::uint64_t ticks = 1) noexcept;
+  std::uint64_t epoch() const noexcept;
+  /// Drops every entry untouched for >= ttl_epochs, walking shards in
+  /// index order; returns the number evicted.
+  std::size_t evict_expired();
+
   ReleaseCacheStats stats() const;
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const noexcept { return config_.capacity; }
+  std::uint64_t ttl_epochs() const noexcept { return config_.ttl_epochs; }
 
   /// Stable 64-bit key hash — also the seed material for the key's
   /// canonical dummy draw in ReleaseService.
@@ -102,6 +137,7 @@ class ReleaseCache {
   struct Entry {
     ReleaseCacheKey key;
     std::shared_ptr<const CloakAggregate> value;
+    std::uint64_t touch_epoch = 0;
   };
   struct KeyHash {
     std::size_t operator()(const ReleaseCacheKey& key) const noexcept {
@@ -115,7 +151,8 @@ class ReleaseCache {
         index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions_lru = 0;
+    std::uint64_t evictions_ttl = 0;
   };
 
   /// Registry mirrors of one shard's counters ("release_cache.shardNN.*",
@@ -125,16 +162,18 @@ class ReleaseCache {
   struct ShardMetrics {
     obs::Counter* hits = nullptr;
     obs::Counter* misses = nullptr;
-    obs::Counter* evictions = nullptr;
+    obs::Counter* evictions_lru = nullptr;
+    obs::Counter* evictions_ttl = nullptr;
   };
 
   Shard& shard_for(const ReleaseCacheKey& key) const;
 
-  std::size_t capacity_;
+  ReleaseCacheConfig config_;
   std::size_t shard_capacity_;
   mutable std::vector<Shard> shards_;
   std::vector<ShardMetrics> shard_metrics_;
   obs::Gauge* entries_gauge_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace poiprivacy::service

@@ -108,7 +108,13 @@ ReleaseService::ReleaseService(const poi::PoiDatabase& db,
     : db_(&db),
       cloaker_(&cloaker),
       config_(std::move(config)),
-      cache_(config_.cache_capacity),
+      cache_(ReleaseCacheConfig{config_.cache_capacity, config_.cache_shards,
+                                config_.cache_ttl_epochs}),
+      sessions_(SessionTableConfig{config_.session_capacity,
+                                   config_.session_shards,
+                                   config_.session_ttl_epochs,
+                                   config_.epsilon_ceiling,
+                                   config_.delta_ceiling}),
       noise_base_(common::Rng(config_.seed).substream(0)),
       aggregate_base_(common::Rng(config_.seed).substream(1)) {
   if (config_.policies.empty()) {
@@ -128,34 +134,59 @@ ReleaseService::ReleaseService(const poi::PoiDatabase& db,
     throw std::invalid_argument("service: degrade_policy out of range");
   }
   if (config_.max_batch == 0) config_.max_batch = 1;
+  policy_costs_.reserve(config_.policies.size());
+  for (const ReleasePolicy& policy : config_.policies) {
+    policy_costs_.push_back(dp::FixedBudget::cost_of(
+        {policy.release.epsilon, policy.release.delta}));
+  }
 }
 
-defense::ReleaseSession& ReleaseService::session_for(UserId user) {
-  const auto it = sessions_.find(user);
-  if (it != sessions_.end()) return it->second;
-  defense::SessionConfig session_config;
-  session_config.release = config_.policies.front().release;
-  session_config.epsilon_ceiling = config_.epsilon_ceiling;
-  session_config.delta_ceiling = config_.delta_ceiling;
-  session_config.advanced_slack = config_.advanced_slack;
-  ++stats_.users;
-  return sessions_
-      .try_emplace(user, *db_, *cloaker_, session_config)
-      .first->second;
+ReleaseStatus ReleaseService::admit(UserId user, PolicyId requested,
+                                    PolicyId& served) {
+  const ChargeOutcome primary =
+      sessions_.try_charge(user, policy_costs_[requested]);
+  if (primary == ChargeOutcome::kCharged) {
+    served = requested;
+    return ReleaseStatus::kGranted;
+  }
+  // A full table refuses outright: degrading would need the same slot.
+  if (primary == ChargeOutcome::kWouldExceed && config_.degrade_policy &&
+      *config_.degrade_policy != requested &&
+      sessions_.try_charge(user, policy_costs_[*config_.degrade_policy]) ==
+          ChargeOutcome::kCharged) {
+    served = *config_.degrade_policy;
+    return ReleaseStatus::kDegraded;
+  }
+  return ReleaseStatus::kBudgetExhausted;
 }
 
 dp::PrivacyParams ReleaseService::user_spent(UserId user) const {
-  const auto it = sessions_.find(user);
-  return it == sessions_.end() ? dp::PrivacyParams{0.0, 0.0}
-                               : it->second.spent();
+  return sessions_.spent(user);
 }
 
 dp::PrivacyParams ReleaseService::user_remaining(UserId user) const {
-  const auto it = sessions_.find(user);
-  return it == sessions_.end()
-             ? dp::PrivacyParams{config_.epsilon_ceiling,
-                                 config_.delta_ceiling}
-             : it->second.remaining();
+  return sessions_.remaining(user);
+}
+
+void ReleaseService::advance_epoch(std::uint64_t ticks) {
+  sessions_.advance_epoch(ticks);
+  cache_.advance_epoch(ticks);
+  sessions_.sweep();
+  cache_.evict_expired();
+}
+
+ServiceStats ReleaseService::concurrent_stats() const {
+  ServiceStats out;
+  out.requests = concurrent_.requests.load(std::memory_order_relaxed);
+  out.granted = concurrent_.granted.load(std::memory_order_relaxed);
+  out.degraded = concurrent_.degraded.load(std::memory_order_relaxed);
+  out.budget_exhausted =
+      concurrent_.budget_exhausted.load(std::memory_order_relaxed);
+  out.invalid = concurrent_.invalid.load(std::memory_order_relaxed);
+  out.cache_hits = concurrent_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = concurrent_.cache_misses.load(std::memory_order_relaxed);
+  out.users = sessions_.stats().sessions_created;
+  return out;
 }
 
 CloakAggregate ReleaseService::compute_aggregate(
@@ -258,7 +289,8 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const ReleaseRequest& request = requests[i];
     ReleaseResult& out = results[base + i];
-    const std::uint64_t noise_index = next_request_index_++;
+    const std::uint64_t noise_index =
+        next_request_index_.fetch_add(1, std::memory_order_relaxed);
     ++stats_.requests;
     metrics.requests.add(1);
     if (request.policy >= config_.policies.size() ||
@@ -269,36 +301,21 @@ void ReleaseService::serve_batch(std::span<const ReleaseRequest> requests,
       metrics.invalid.add(1);
       continue;
     }
-    defense::ReleaseSession& session = session_for(request.user_id);
+    const bool known = sessions_.contains(request.user_id);
     PolicyId served = request.policy;
-    ReleaseStatus status = ReleaseStatus::kGranted;
-    dp::PrivacyParams cost{config_.policies[served].release.epsilon,
-                           config_.policies[served].release.delta};
-    if (session.would_exceed(cost)) {
-      const bool can_degrade =
-          config_.degrade_policy && *config_.degrade_policy != request.policy;
-      const dp::PrivacyParams degrade_cost =
-          can_degrade
-              ? dp::PrivacyParams{
-                    config_.policies[*config_.degrade_policy].release.epsilon,
-                    config_.policies[*config_.degrade_policy].release.delta}
-              : dp::PrivacyParams{0.0, 0.0};
-      if (can_degrade && !session.would_exceed(degrade_cost)) {
-        served = *config_.degrade_policy;
-        status = ReleaseStatus::kDegraded;
-        cost = degrade_cost;
-      } else {
-        out.status = ReleaseStatus::kBudgetExhausted;
-        out.spent = session.spent();
-        ++stats_.budget_exhausted;
-        metrics.budget_exhausted.add(1);
-        continue;
-      }
+    const ReleaseStatus status = admit(request.user_id, request.policy, served);
+    // try_charge claims the session even when it refuses on budget, so a
+    // first contact counts as a user unless the table was full.
+    if (!known && sessions_.contains(request.user_id)) ++stats_.users;
+    out.spent = sessions_.spent(request.user_id);
+    if (status == ReleaseStatus::kBudgetExhausted) {
+      out.status = status;
+      ++stats_.budget_exhausted;
+      metrics.budget_exhausted.add(1);
+      continue;
     }
-    session.charge(cost);
     out.status = status;
     out.served_policy = served;
-    out.spent = session.spent();
     if (status == ReleaseStatus::kGranted) {
       ++stats_.granted;
       metrics.granted.add(1);
@@ -434,6 +451,65 @@ std::vector<ReleaseResult> ReleaseService::serve(
 
 ReleaseResult ReleaseService::serve_one(const ReleaseRequest& request) {
   return std::move(serve({&request, 1}).front());
+}
+
+ReleaseResult ReleaseService::serve_concurrent(const ReleaseRequest& request) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  ReleaseResult out;
+  // The arrival order that wins this fetch_add IS the request's identity
+  // for noise purposes — a sequential caller reproduces the batch path's
+  // substream assignment exactly.
+  const std::uint64_t noise_index =
+      next_request_index_.fetch_add(1, std::memory_order_relaxed);
+  concurrent_.requests.fetch_add(1, std::memory_order_relaxed);
+  metrics.requests.add(1);
+  if (request.policy >= config_.policies.size() || !(request.radius > 0.0)) {
+    out.status = ReleaseStatus::kInvalidRequest;
+    out.spent = {0.0, 0.0};
+    concurrent_.invalid.fetch_add(1, std::memory_order_relaxed);
+    metrics.invalid.add(1);
+    return out;
+  }
+  PolicyId served = request.policy;
+  const ReleaseStatus status = admit(request.user_id, request.policy, served);
+  out.spent = sessions_.spent(request.user_id);
+  out.status = status;
+  if (status == ReleaseStatus::kBudgetExhausted) {
+    concurrent_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+    metrics.budget_exhausted.add(1);
+    return out;
+  }
+  out.served_policy = served;
+  if (status == ReleaseStatus::kGranted) {
+    concurrent_.granted.fetch_add(1, std::memory_order_relaxed);
+    metrics.granted.add(1);
+  } else {
+    concurrent_.degraded.fetch_add(1, std::memory_order_relaxed);
+    metrics.degraded.add(1);
+  }
+  ReleaseCacheKey key;
+  key.region =
+      cloaker_->cloak(request.location, config_.policies[served].release.k)
+          .region;
+  key.radius = request.radius;
+  key.policy = served;
+  std::shared_ptr<const CloakAggregate> aggregate = cache_.get(key);
+  if (aggregate) {
+    out.cache_hit = true;
+    concurrent_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    metrics.cache_hits.add(1);
+  } else {
+    // No cross-thread coalescing here: two threads cold-probing one key
+    // both compute, and the later put refreshes the (identical) entry.
+    aggregate = std::make_shared<const CloakAggregate>(compute_aggregate(key));
+    cache_.put(key, aggregate);
+    concurrent_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    metrics.cache_misses.add(1);
+  }
+  common::Rng rng = noise_base_.substream(noise_index);
+  out.vector =
+      noised_release(config_.policies[served].release, *aggregate, rng);
+  return out;
 }
 
 }  // namespace poiprivacy::service

@@ -2,24 +2,31 @@
 //
 // The paper's threat model has a geo-information service provider
 // publishing protected POI frequency vectors to a large user population;
-// the library pieces (DpDefense, ReleaseSession, PrivacyAccountant) are
-// per-call, per-user. This subsystem is the long-lived in-process service
-// that sits on top of them:
+// the library pieces (DpDefense, PrivacyAccountant) are per-call,
+// per-user. This subsystem is the long-lived in-process service that
+// sits on top of them:
 //
-//   * one lazily created, budget-enforced ReleaseSession per user;
+//   * a sharded, fixed-capacity session/budget table (session_table.h):
+//     admission charge/remaining/would_exceed are lock-free on the hot
+//     path (one CAS on a fixed-point budget word per request);
 //   * admission control: a request whose composed (eps, delta) would
 //     exceed the ceiling is degraded to a cheaper policy (if configured)
 //     or refused with a typed ReleaseStatus — never an exception;
-//   * a sharded LRU cache of cloak-region aggregates so users cloaked
-//     into the same quadrant share the k range queries (release_cache.h);
-//   * request batching: enqueue() fills a bounded queue that drains onto
-//     the common/parallel thread pool.
+//   * a sharded LRU+TTL cache of cloak-region aggregates so users
+//     cloaked into the same quadrant share the k range queries
+//     (release_cache.h);
+//   * two serving paths over the same state:
+//       - the deterministic batch path: enqueue() fills a bounded queue
+//         that drains onto the common/parallel thread pool in 6 phases;
+//       - serve_concurrent(): a thread-safe per-request path for the
+//         socket front-end (src/net), where many worker threads admit
+//         and release concurrently.
 //
-// Determinism contract (the same one the eval runners honour): statuses,
-// released vectors and every counter are bit-identical for any --threads.
-// Four mechanisms make it hold:
-//   1. admission runs serially in request order (budget math is a fold
-//      over each user's history);
+// Determinism contract for the batch path (the same one the eval runners
+// honour): statuses, released vectors and every counter are bit-identical
+// for any --threads. Four mechanisms make it hold:
+//   1. admission runs serially in request order (the session table is a
+//      pure function of the charge sequence);
 //   2. cache probes/inserts run serially in request order, so LRU motion
 //      and hit/miss/eviction counters never depend on scheduling — only
 //      the aggregate computation and the per-request noise fan out;
@@ -28,29 +35,42 @@
 //   4. a cached aggregate is a pure function of its key — its dummy draw
 //      seeds from the key hash — so cache capacity (hence eviction) can
 //      change which work is *recomputed* but never a released vector.
+// serve_concurrent() keeps 3 and 4 (vectors depend only on the arrival
+// order that assigns noise indices) but runs admission lock-free, so a
+// single connection issuing requests sequentially reproduces the batch
+// path bit-for-bit while concurrent connections remain merely
+// linearizable. The two paths share the session table and cache but
+// keep separate stats (stats() vs concurrent_stats()); interleaving
+// them forfeits the batch path's replay determinism, nothing else.
+//
+// Eviction: advance_epoch() ticks the session table's and the cache's
+// logical clocks and runs their sweeps. Cache expiry never changes a
+// released vector (see 4); session expiry RENEWS the user's budget — the
+// owner opts in via session_ttl_epochs and drives the clock explicitly,
+// so eviction timing is part of the call sequence, never of thread
+// scheduling.
 //
 // Privacy note: the served aggregate is computed from the cloaked
 // region's canonical dummies, not from the requester's exact location, so
 // the pre-noise value is already k-anonymous (that is exactly what makes
 // it shareable across users); the per-request Gaussian/geometric noise
-// then provides the (eps, delta) guarantee that the accountant composes.
+// then provides the (eps, delta) guarantee that the ledger composes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cloak/kcloak.h"
-#include "defense/session.h"
+#include "defense/opt_defense.h"
 #include "service/release_cache.h"
+#include "service/session_table.h"
 
 namespace poiprivacy::service {
-
-using UserId = std::uint64_t;
 
 /// A named release policy: the DP mechanism parameters one request class
 /// is served under (k, epsilon, delta, noise kind, beta).
@@ -105,22 +125,35 @@ struct ServiceConfig {
   /// When set, a request that would blow the budget under its own policy
   /// is served under this (cheaper) policy instead of being refused.
   std::optional<PolicyId> degrade_policy;
-  /// Per-user budget ceilings and composition slack (see SessionConfig).
+  /// Per-user budget ceilings (fixed-point basic composition; see
+  /// dp/budget.h for the quantization contract).
   double epsilon_ceiling = 8.0;
   double delta_ceiling = 0.5;
+  /// Retained for config compatibility: the fixed-point ledger composes
+  /// basically, which is never looser than tightest-of(basic, advanced);
+  /// dp::PrivacyAccountant still offers the advanced bound offline.
   double advanced_slack = 1e-6;
-  /// Total release-cache entries (sharded LRU).
+  /// Session/budget table sizing (hard memory bound; fail-closed).
+  std::size_t session_capacity = 1 << 16;
+  std::size_t session_shards = 64;
+  /// Sessions idle this many epochs are reclaimed (budget renewal) by
+  /// advance_epoch(); 0 = sessions never expire.
+  std::uint64_t session_ttl_epochs = 0;
+  /// Total release-cache entries (sharded LRU) and expiry policy.
   std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  std::uint64_t cache_ttl_epochs = 0;  ///< 0 = entries never expire
   /// Bounded queue: enqueue() drains a batch once this many are pending.
   std::size_t max_batch = 256;
   /// Master seed for noise substreams and canonical dummy draws.
   std::uint64_t seed = 1234;
 };
 
-/// Deterministic service counters (every field bit-identical for any
-/// thread count). Cache hits/misses are the *effective* ones — a request
-/// whose key another request in the same batch is already computing
-/// counts as a hit; misses therefore equal aggregates actually computed.
+/// Deterministic service counters (every batch-path field bit-identical
+/// for any thread count). Cache hits/misses are the *effective* ones — a
+/// request whose key another request in the same batch is already
+/// computing counts as a hit; misses therefore equal aggregates actually
+/// computed.
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t granted = 0;
@@ -145,8 +178,8 @@ struct ServiceStats {
 
 class ReleaseService {
  public:
-  /// Throws std::invalid_argument on an empty/ill-formed policy list or a
-  /// dangling degrade_policy index.
+  /// Throws std::invalid_argument on an empty/ill-formed policy list, a
+  /// dangling degrade_policy index, or a zero session capacity.
   ReleaseService(const poi::PoiDatabase& db,
                  const cloak::AdaptiveIntervalCloaker& cloaker,
                  ServiceConfig config);
@@ -166,12 +199,28 @@ class ReleaseService {
   /// Convenience single-request path (a batch of one); same requirement.
   ReleaseResult serve_one(const ReleaseRequest& request);
 
+  /// Thread-safe per-request path for the socket front-end: lock-free
+  /// admission, shared cache, per-arrival noise substreams. Safe to call
+  /// from many threads at once; counts into concurrent_stats(). No batch
+  /// coalescing — concurrent cold probes of one key may compute the
+  /// (identical, key-pure) aggregate more than once.
+  ReleaseResult serve_concurrent(const ReleaseRequest& request);
+
   std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Ticks the session-table and release-cache epoch clocks and runs
+  /// both sweeps. Deterministic given the call sequence; the owner
+  /// drives it (batch boundaries, a wall-clock ticker, ...).
+  void advance_epoch(std::uint64_t ticks = 1);
+
   const ServiceStats& stats() const noexcept { return stats_; }
+  /// Counters of the serve_concurrent path (atomic snapshot; `users`
+  /// reports table sessions created, `batches` is always 0).
+  ServiceStats concurrent_stats() const;
   /// Raw cache counters (insertions/evictions/residency). The service
   /// stats' hits/misses are the effective per-request ones.
   ReleaseCacheStats cache_stats() const { return cache_.stats(); }
+  SessionTableStats session_stats() const { return sessions_.stats(); }
   /// Wall-clock seconds spent draining each batch, in drain order (for
   /// latency reporting; not part of the determinism contract).
   const std::vector<double>& batch_seconds() const noexcept {
@@ -181,7 +230,8 @@ class ReleaseService {
     return batch_sizes_;
   }
 
-  /// Budget state of one user; zero-spend if the user was never admitted.
+  /// Budget state of one user; zero-spend if the user was never admitted
+  /// (or the session TTL-expired — budget renewal).
   dp::PrivacyParams user_spent(UserId user) const;
   dp::PrivacyParams user_remaining(UserId user) const;
   std::size_t num_users() const noexcept { return sessions_.size(); }
@@ -190,11 +240,24 @@ class ReleaseService {
 
  private:
   struct Admitted;
+  struct ConcurrentCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> granted{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> budget_exhausted{0};
+    std::atomic<std::uint64_t> invalid{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+  };
+
+  /// The admission decision shared by both serving paths: try the
+  /// requested policy, fall back to the degrade policy, else refuse.
+  /// Returns the status and fills `served` on grant/degrade.
+  ReleaseStatus admit(UserId user, PolicyId requested, PolicyId& served);
 
   void serve_batch(std::span<const ReleaseRequest> requests,
                    std::vector<ReleaseResult>& results);
   void drain_queue();
-  defense::ReleaseSession& session_for(UserId user);
   CloakAggregate compute_aggregate(const ReleaseCacheKey& key) const;
   poi::FrequencyVector noised_release(const defense::DpDefenseConfig& policy,
                                       const CloakAggregate& aggregate,
@@ -203,14 +266,16 @@ class ReleaseService {
   const poi::PoiDatabase* db_;
   const cloak::AdaptiveIntervalCloaker* cloaker_;
   ServiceConfig config_;
+  std::vector<dp::FixedBudget> policy_costs_;  ///< quantized, by PolicyId
   ReleaseCache cache_;
-  std::map<UserId, defense::ReleaseSession> sessions_;
+  SessionTable sessions_;
   std::deque<ReleaseRequest> queue_;
   std::vector<ReleaseResult> collected_;
   ServiceStats stats_;
+  ConcurrentCounters concurrent_;
   std::vector<double> batch_seconds_;
   std::vector<std::size_t> batch_sizes_;
-  std::uint64_t next_request_index_ = 0;  ///< noise substream counter
+  std::atomic<std::uint64_t> next_request_index_{0};  ///< noise substreams
   common::Rng noise_base_;
   common::Rng aggregate_base_;
 };

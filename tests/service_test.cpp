@@ -217,6 +217,78 @@ TEST(ReleaseService, CacheCapacityNeverChangesReleases) {
   EXPECT_EQ(tiny, roomy);
 }
 
+TEST(ReleaseService, EvictionCountersSplitLruFromTtl) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+
+  // Capacity pressure: a 1-entry cache serving two distinct keys evicts
+  // exactly once, attributed to the LRU policy.
+  {
+    service::ServiceConfig config = two_policy_config();
+    config.epsilon_ceiling = 100.0;
+    config.cache_capacity = 1;
+    service::ReleaseService gsp(city.db, cloaker, config);
+    gsp.serve_one({1, {4.0, 4.0}, 1.0, 0});
+    gsp.serve_one({1, {4.0, 4.0}, 2.0, 0});  // same region, new radius
+    const service::ReleaseCacheStats cache = gsp.cache_stats();
+    EXPECT_EQ(cache.misses, 2u);
+    EXPECT_EQ(cache.evictions_lru, 1u);
+    EXPECT_EQ(cache.evictions_ttl, 0u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.entries, 1u);
+  }
+
+  // Expiry: an untouched entry dies on the first epoch tick once the
+  // cache TTL is 1, attributed to the TTL policy, and the key is then
+  // recomputed (never a changed vector — pinned elsewhere).
+  {
+    service::ServiceConfig config = two_policy_config();
+    config.epsilon_ceiling = 100.0;
+    config.cache_ttl_epochs = 1;
+    service::ReleaseService gsp(city.db, cloaker, config);
+    const auto first = gsp.serve_one({1, {4.0, 4.0}, 1.0, 0});
+    EXPECT_FALSE(first.cache_hit);
+    gsp.advance_epoch();
+    const service::ReleaseCacheStats cache = gsp.cache_stats();
+    EXPECT_EQ(cache.evictions_ttl, 1u);
+    EXPECT_EQ(cache.evictions_lru, 0u);
+    EXPECT_EQ(cache.entries, 0u);
+    const auto again = gsp.serve_one({1, {4.0, 4.0}, 1.0, 0});
+    EXPECT_FALSE(again.cache_hit);
+    EXPECT_EQ(gsp.cache_stats().misses, 2u);
+  }
+}
+
+TEST(ReleaseService, SessionTtlRenewsBudget) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  service::ServiceConfig config = two_policy_config();
+  config.session_ttl_epochs = 1;
+  service::ReleaseService gsp(city.db, cloaker, config);
+
+  // Spend most of the 3.5 ceiling...
+  const auto spent_down = gsp.serve(repeat_request(7, 3));
+  EXPECT_EQ(spent_down.back().status, service::ReleaseStatus::kGranted);
+  EXPECT_DOUBLE_EQ(gsp.user_spent(7).epsilon, 3.0);
+  EXPECT_EQ(gsp.num_users(), 1u);
+
+  // ...then let the session idle past its TTL: the sweep reclaims the
+  // slot (visible in the eviction counter) and the budget renews.
+  gsp.advance_epoch();
+  EXPECT_EQ(gsp.session_stats().evictions_ttl, 1u);
+  EXPECT_EQ(gsp.num_users(), 0u);
+  EXPECT_DOUBLE_EQ(gsp.user_spent(7).epsilon, 0.0);
+
+  const auto renewed = gsp.serve_one({7, {4.0, 4.0}, 1.0, 0});
+  EXPECT_EQ(renewed.status, service::ReleaseStatus::kGranted);
+  EXPECT_DOUBLE_EQ(gsp.user_spent(7).epsilon, 1.0);
+  // The renewal re-created the session: the user is counted twice in
+  // the lifetime counter, once in residency.
+  EXPECT_EQ(gsp.stats().users, 2u);
+  EXPECT_EQ(gsp.session_stats().sessions_created, 2u);
+  EXPECT_EQ(gsp.num_users(), 1u);
+}
+
 TEST(ReleaseService, BatchSizeNeverChangesReleases) {
   const poi::City city = make_city();
   const auto cloaker = make_cloaker(city.db);
