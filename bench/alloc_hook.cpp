@@ -1,0 +1,85 @@
+// Global operator new/delete replacement for the bench binary ONLY.
+//
+// Forwards every variant to malloc/free and bumps the thread-local
+// counter behind common::thread_allocation_count(), which lets bench
+// smoke modes assert that hot loops advertised as allocation-free really
+// are (e.g. the linkage_100k store fill and tracker steady state).
+// Library and test binaries do not link this file, so the counter stays
+// inert there and the same assertions pass trivially.
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_count.h"
+
+namespace {
+
+struct EnableCounting {
+  EnableCounting() noexcept {
+    poiprivacy::common::detail::enable_allocation_counting();
+  }
+} const g_enable_counting;
+
+void* counted_alloc(std::size_t size) noexcept {
+  poiprivacy::common::detail::count_allocation();
+  // malloc(0) may return nullptr; operator new must return a unique ptr.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  poiprivacy::common::detail::count_allocation();
+  void* p = nullptr;
+  if (align < alignof(void*)) align = alignof(void*);
+  if (posix_memalign(&p, align, size == 0 ? 1 : size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p =
+          counted_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "attack/linkage_engine.h"
 #include "attack/region_reid.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -23,6 +24,7 @@
 #include "poi/city_model.h"
 #include "poi/tile_aggregates.h"
 #include "scenarios/scenarios.h"
+#include "traj/generators.h"
 
 namespace poiprivacy::bench {
 
@@ -290,6 +292,59 @@ int run_micro_core_json(const std::string& path, bool smoke) {
     const poi::FrequencyVector f = db.freq(location_for(++loc), r);
     keep(reid.infer(f, r));
   });
+
+  // Linkage-engine primitives (attack/linkage_engine.h): index build over
+  // a large candidate layer, the per-tile envelope annulus prune, and a
+  // full streamed tracker intersection over a short release chain.
+  {
+    const attack::AttackContext ctx(db);
+    // The most populous type gives the largest realistic candidate layer.
+    poi::TypeId big_type = 0;
+    for (poi::TypeId t = 0; t < db.num_types(); ++t) {
+      if (db.pois_of_type(t).size() > db.pois_of_type(big_type).size()) {
+        big_type = t;
+      }
+    }
+    const std::vector<poi::PoiId>& layer = db.pois_of_type(big_type);
+    attack::CandidateBlockIndex index;
+    emit_bench(json, "linkage_bucket_build", kernel_reps,
+               kernel_iters / 100 + 1, [&] {
+                 index.build(ctx, layer);
+                 keep(index.num_buckets());
+               });
+    index.build(ctx, layer);
+    emit_bench(json, "linkage_envelope_prune", kernel_reps,
+               kernel_iters / 10 + 1, [&] {
+                 keep(index.any_in_annulus(location_for(++loc), 1.0, 3.0,
+                                           {}));
+               });
+
+    // Tracker fixture: a pairwise attack trained on a small taxi corpus,
+    // streamed over a fixed three-release chain.
+    common::Rng rng(4242);
+    traj::TaxiConfig taxi_config;
+    taxi_config.num_taxis = 20;
+    taxi_config.points_per_taxi = 10;
+    const auto trajectories =
+        traj::generate_taxi_trajectories(beijing(), taxi_config, rng);
+    const auto pairs = traj::extract_release_pairs(trajectories, db, r, 600);
+    const attack::TrajectoryAttack pairwise(
+        db, pairs, r, attack::TrajectoryAttackConfig{}, rng);
+    const attack::LinkageEngine engine(db, pairwise, r);
+    std::vector<attack::TimedRelease> chain;
+    for (std::int64_t j = 0; j < 3; ++j) {
+      chain.push_back({db.freq(location_for(17 + 3 * j), r), 300 * j});
+    }
+    attack::LinkageEngine::Tracker tracker(engine);
+    emit_bench(json, "linkage_streamed_intersect", reid_reps,
+               reid_iters / 3 + 1, [&] {
+                 tracker.reset();
+                 for (const attack::TimedRelease& release : chain) {
+                   tracker.observe(release.freq, release.time);
+                 }
+                 keep(tracker.survivors().size());
+               });
+  }
 
   json.end_array();
   json.end_object();

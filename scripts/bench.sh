@@ -12,6 +12,11 @@
 #                                   loopback connections, pipelined)
 #   BENCH_mia.json                  membership-inference AUC vs epsilon
 #                                   (the mia_dp_sweep table)
+#   BENCH_linkage.json              streaming cross-release linkage at
+#                                   scale: wall time + users/sec for the
+#                                   25K/50K/100K sweep and the fitted
+#                                   scaling exponent (slope of log t vs
+#                                   log n; subquadratic means <= ~1.3)
 #
 # into the output directory (default: repo root). Commit the files next
 # to the change that produced them so the perf history lives in git.
@@ -63,3 +68,15 @@ echo "== bench.sh: mia_dp_sweep =="
 ./build-release/bench/poibench --scenario mia_dp_sweep \
   --json "$outdir/BENCH_mia.json" --threads 1 >/dev/null
 echo "wrote $outdir/BENCH_mia.json"
+
+echo "== bench.sh: linkage_100k (25K -> 50K -> 100K sweep) =="
+./build-release/bench/poibench --scenario linkage_100k \
+  --json "$outdir/BENCH_linkage.json" --threads 8 >/dev/null
+python3 -c "
+import json
+with open('$outdir/BENCH_linkage.json') as f:
+    doc = json.load(f)
+print('scaling exponent: %.3f over' % doc['scaling_exponent'],
+      ' -> '.join(str(s['users']) for s in doc['scales']), 'users')
+"
+echo "wrote $outdir/BENCH_linkage.json"

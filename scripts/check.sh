@@ -24,7 +24,13 @@
 #   8. the serving-layer concurrency gate: the session-shard stress,
 #      property and net-framing suites re-run under the ThreadSanitizer
 #      build, then a Release loopback smoke drives the TCP front-end
-#      (poibench --connections) and asserts every request came back.
+#      (poibench --connections) and asserts every request came back,
+#   9. the linkage-engine gate: the linkage_100k smoke must be
+#      byte-identical at --threads 1/2/8 (the per-user streaming loop is
+#      an ordered reduction, so the thread count must never be
+#      observable), its zero-allocation store-fill check must hold, the
+#      Release --json smoke must emit a parseable sweep, and the linkage
+#      property suite re-runs under the ThreadSanitizer build.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -32,20 +38,20 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/8] plain build + tier-1 tests =="
+echo "== [1/9] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/8] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/9] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/8] metrics determinism at --threads 1/2/8 =="
+echo "== [3/9] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
 
-echo "== [4/8] poibench --all --smoke determinism at --threads 1/8 =="
+echo "== [4/9] poibench --all --smoke determinism at --threads 1/8 =="
 cmake --build build -j "$jobs" --target poibench
 smoke_t1="$(mktemp)"
 smoke_t8="$(mktemp)"
@@ -61,7 +67,7 @@ done
 echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8 (mia_* present)"
 rm -f "$smoke_t1" "$smoke_t8"
 
-echo "== [5/8] Release bench smoke =="
+echo "== [5/9] Release bench smoke =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" --target poibench
 smoke_json="$(mktemp)"
@@ -76,7 +82,7 @@ print('bench smoke:', len(doc['results']), 'benchmarks ran')
 "
 rm -f "$smoke_json"
 
-echo "== [6/8] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
+echo "== [6/9] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
 (cd build && POIPRIVACY_KERNEL=scalar ctest -L tier1 --output-on-failure -j "$jobs")
 for threads in 1 2 8; do
   smoke_scalar="$(mktemp)"
@@ -90,7 +96,7 @@ for threads in 1 2 8; do
   echo "poibench smoke: scalar == native tier at --threads $threads"
 done
 
-echo "== [7/8] ASan/UBSan build + kernel property suites per tier =="
+echo "== [7/9] ASan/UBSan build + kernel property suites per tier =="
 cmake -B build-asan -S . -DPOIPRIVACY_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   kernel_property_test fingerprint_property_test tile_window_property_test
@@ -105,7 +111,7 @@ for tier in native scalar; do
   done
 done
 
-echo "== [8/8] serving layer: stress/property/framing under TSan + TCP loopback smoke =="
+echo "== [8/9] serving layer: stress/property/framing under TSan + TCP loopback smoke =="
 for suite in service_stress_test session_shard_property_test net_framing_test; do
   cmake --build build-tsan -j "$jobs" --target "$suite" >/dev/null
   "./build-tsan/tests/$suite" --gtest_brief=1 >/dev/null
@@ -128,5 +134,41 @@ print('loopback smoke:', doc['served'], 'requests served over',
       doc['connections'], 'connections,', doc['status'])
 "
 rm -f "$loopback_json"
+
+echo "== [9/9] linkage engine: smoke identity at --threads 1/2/8 + TSan property suite =="
+linkage_ref="$(mktemp)"
+./build/bench/poibench --scenario linkage_100k --smoke --seed 4242 \
+  --threads 1 2>/dev/null | sed 's/threads=[0-9]*/threads=N/' > "$linkage_ref"
+grep -q 'alloc check: pass' "$linkage_ref" \
+  || { echo "check.sh: linkage_100k smoke lost the zero-alloc store fill" >&2; exit 1; }
+for threads in 2 8; do
+  linkage_t="$(mktemp)"
+  ./build/bench/poibench --scenario linkage_100k --smoke --seed 4242 \
+    --threads "$threads" 2>/dev/null \
+    | sed 's/threads=[0-9]*/threads=N/' > "$linkage_t"
+  diff -u "$linkage_ref" "$linkage_t"
+  rm -f "$linkage_t"
+  echo "linkage_100k smoke: --threads 1 == --threads $threads"
+done
+rm -f "$linkage_ref"
+linkage_json="$(mktemp)"
+./build-release/bench/poibench --scenario linkage_100k --smoke --seed 4242 \
+  --threads 2 --json "$linkage_json" >/dev/null
+python3 -c "
+import json
+with open('$linkage_json') as f:
+    doc = json.load(f)
+assert doc['scenario'] == 'linkage_100k' and doc['scales'], doc
+for scale in doc['scales']:
+    assert scale['users'] > 0 and scale['linkage_wall_s'] > 0, scale
+    assert 0.0 <= scale['unique_rate'] <= 1.0, scale
+print('linkage smoke:', len(doc['scales']), 'scale(s),',
+      doc['releases'], 'releases, unique_rate',
+      doc['scales'][-1]['unique_rate'])
+"
+rm -f "$linkage_json"
+cmake --build build-tsan -j "$jobs" --target linkage_property_test >/dev/null
+./build-tsan/tests/linkage_property_test --gtest_brief=1 >/dev/null
+echo "tsan: linkage_property_test clean"
 
 echo "check.sh: all gates passed"

@@ -93,13 +93,30 @@ AttackContext::BatchedEnvelope::BatchedEnvelope(
       radius_(radius),
       released_(released),
       rare_(rare),
-      tile_verdict_(static_cast<std::size_t>(tiles_->nx()) * tiles_->ny(),
-                    kUnknown) {}
+      tile_verdict_(&owned_verdict_) {
+  tile_verdict_->assign(static_cast<std::size_t>(tiles_->nx()) * tiles_->ny(),
+                        kUnknown);
+}
+
+AttackContext::BatchedEnvelope::BatchedEnvelope(
+    const AttackContext& ctx, double radius,
+    std::span<const std::int32_t> released, std::span<const poi::TypeId> rare,
+    std::vector<std::int8_t>& scratch)
+    : ctx_(&ctx),
+      tiles_(&ctx.tiles()),
+      radius_(radius),
+      released_(released),
+      rare_(rare),
+      tile_verdict_(&scratch) {
+  tile_verdict_->assign(static_cast<std::size_t>(tiles_->nx()) * tiles_->ny(),
+                        kUnknown);
+}
 
 bool AttackContext::BatchedEnvelope::pruned(geo::Point pos) {
   const poi::TileAggregates::Tile tile = tiles_->tile_of(pos);
   std::int8_t& verdict =
-      tile_verdict_[static_cast<std::size_t>(tile.iy) * tiles_->nx() + tile.ix];
+      (*tile_verdict_)[static_cast<std::size_t>(tile.iy) * tiles_->nx() +
+                       tile.ix];
   if (verdict == kUnknown) {
     verdict = exact_prune(tiles_->tile_window(tile.ix, tile.iy, radius_),
                           released_, rare_)

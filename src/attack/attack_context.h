@@ -241,6 +241,16 @@ class AttackContext {
                     std::span<const std::int32_t> released,
                     std::span<const poi::TypeId> rare);
 
+    /// Same envelope, but the per-tile verdict table lives in
+    /// caller-owned storage: a loop that builds one envelope per release
+    /// (the streaming linkage tracker) reuses the buffer's capacity
+    /// instead of allocating nx*ny verdict bytes per step. `scratch`
+    /// must outlive the envelope.
+    BatchedEnvelope(const AttackContext& ctx, double radius,
+                    std::span<const std::int32_t> released,
+                    std::span<const poi::TypeId> rare,
+                    std::vector<std::int8_t>& scratch);
+
     /// exact_prune() verdict for a candidate at `pos`; bit-identical to
     /// exact_prune(ctx.window(pos, radius), released, rare).
     bool pruned(geo::Point pos);
@@ -259,7 +269,8 @@ class AttackContext {
     double radius_;
     std::span<const std::int32_t> released_;
     std::span<const poi::TypeId> rare_;
-    std::vector<std::int8_t> tile_verdict_;  ///< one verdict per tile
+    std::vector<std::int8_t> owned_verdict_;   ///< backs tile_verdict_ by default
+    std::vector<std::int8_t>* tile_verdict_;   ///< one verdict per tile
   };
 
  private:

@@ -1,8 +1,5 @@
 #include "attack/chain_attack.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace poiprivacy::attack {
 
 ChainInferenceResult ChainAttack::infer(
@@ -10,66 +7,35 @@ ChainInferenceResult ChainAttack::infer(
   ChainInferenceResult result;
   if (releases.empty()) return result;
 
+  // One baseline layer per release, into reused scratch.
+  ReidScratch scratch;
+  ReidResult layer;
   result.layers.reserve(releases.size());
   for (const TimedRelease& release : releases) {
-    result.layers.push_back(reid_.infer(release.freq, r_).candidates);
+    engine_.layer_into(release.freq, scratch, layer);
+    result.layers.push_back(layer.candidates);
   }
 
   // Estimated distance per step via the pairwise attack's regressor.
+  std::vector<double> features;
+  result.estimated_step_km.reserve(releases.size() - 1);
   for (std::size_t t = 0; t + 1 < releases.size(); ++t) {
-    const PairInferenceResult step =
-        pairwise_->infer(releases[t].freq, releases[t + 1].freq,
-                         releases[t].time, releases[t + 1].time);
-    result.estimated_step_km.push_back(step.estimated_distance_km);
+    result.estimated_step_km.push_back(engine_.estimate_step_km(
+        releases[t].freq, releases[t + 1].freq, releases[t].time,
+        releases[t + 1].time, features));
   }
 
-  // Backward reachability: alive[t][i] = candidate i of layer t can reach
-  // the end of the chain through consistent edges. A layer with no
-  // candidates carries no evidence and is treated as transparent.
-  const double slack = pairwise_->tolerance_km() + r_;
-  std::vector<std::vector<bool>> alive(result.layers.size());
-  for (std::size_t t = 0; t < result.layers.size(); ++t) {
-    alive[t].assign(result.layers[t].size(), true);
-  }
-  for (std::size_t t = result.layers.size() - 1; t-- > 0;) {
-    const auto& here = result.layers[t];
-    const auto& next = result.layers[t + 1];
-    if (here.empty() || next.empty()) continue;
-    const double estimate = result.estimated_step_km[t];
-    for (std::size_t i = 0; i < here.size(); ++i) {
-      const geo::Point pa = ctx_.db().poi(here[i]).pos;
-      bool reachable = false;
-      for (std::size_t j = 0; j < next.size() && !reachable; ++j) {
-        if (!alive[t + 1][j]) continue;
-        const double d = geo::distance(pa, ctx_.db().poi(next[j]).pos);
-        reachable = std::abs(d - estimate) <= slack;
-      }
-      alive[t][i] = reachable;
-    }
-    // A step that eliminates every candidate says more about the
-    // regressor than about the user; treat it as transparent, matching
-    // the pairwise attack's empty-filter fallback.
-    if (std::none_of(alive[t].begin(), alive[t].end(),
-                     [](bool b) { return b; })) {
-      alive[t].assign(here.size(), true);
-    }
-  }
-
-  if (!result.layers.empty()) {
-    for (std::size_t i = 0; i < result.layers[0].size(); ++i) {
-      if (alive[0][i]) {
-        result.surviving_first_candidates.push_back(result.layers[0][i]);
-      }
-    }
-  }
+  engine_.solve_chain(result.layers, result.estimated_step_km,
+                      result.surviving_first_candidates);
   return result;
 }
 
 bool ChainAttack::success(const ChainInferenceResult& result,
                           geo::Point first_truth) const noexcept {
-  return result.unique() &&
-         geo::distance(ctx_.db().poi(result.surviving_first_candidates.front()).pos,
-                       first_truth) <= r_ + 1e-9;
+  if (!result.unique()) return false;
+  const geo::Point anchor =
+      engine_.db().poi(result.surviving_first_candidates.front()).pos;
+  return geo::distance(anchor, first_truth) <= engine_.r() + 1e-9;
 }
 
 }  // namespace poiprivacy::attack

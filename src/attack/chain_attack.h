@@ -11,19 +11,22 @@
 // layer-0 candidate survives. Longer chains add constraints, so success
 // is monotone in chain length in expectation — the natural "trajectory
 // uniqueness" sweep the paper leaves as future work.
+//
+// This class is the strategy layer: it shapes the per-release layers and
+// step estimates and interprets the survivor set. The layered solve
+// itself — blocking index, squared-annulus consistency test, backward
+// sweep with the transparent fallback — lives in attack::LinkageEngine
+// (attack/linkage_engine.h), shared with the streaming 100K-user
+// tracker. Outputs are byte-identical to the historical all-pairs loop
+// (pinned by the ext_chain_attack golden and
+// tests/linkage_property_test.cpp).
 #pragma once
 
 #include <span>
 
-#include "attack/trajectory_attack.h"
+#include "attack/linkage_engine.h"
 
 namespace poiprivacy::attack {
-
-/// One timestamped release of a POI aggregate.
-struct TimedRelease {
-  poi::FrequencyVector freq;
-  traj::TimeSec time = 0;
-};
 
 struct ChainInferenceResult {
   /// Candidate sets per release (baseline attack output).
@@ -44,7 +47,7 @@ class ChainAttack {
   /// Reuses the two-release attack's trained distance regressor.
   ChainAttack(const poi::PoiDatabase& db, const TrajectoryAttack& pairwise,
               double r)
-      : ctx_(db), pairwise_(&pairwise), reid_(db), r_(r) {}
+      : engine_(db, pairwise, r) {}
 
   /// Runs the attack over n >= 1 successive releases.
   ChainInferenceResult infer(std::span<const TimedRelease> releases) const;
@@ -54,11 +57,10 @@ class ChainAttack {
   bool success(const ChainInferenceResult& result,
                geo::Point first_truth) const noexcept;
 
+  const LinkageEngine& engine() const noexcept { return engine_; }
+
  private:
-  AttackContext ctx_;
-  const TrajectoryAttack* pairwise_;
-  RegionReidentifier reid_;
-  double r_;
+  LinkageEngine engine_;
 };
 
 }  // namespace poiprivacy::attack

@@ -8,6 +8,16 @@ namespace poiprivacy::attack {
 ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
                                      double r) const {
   ReidResult result;
+  ReidScratch scratch;
+  infer_into(released, r, scratch, result);
+  return result;
+}
+
+void RegionReidentifier::infer_into(std::span<const std::int32_t> released,
+                                    double r, ReidScratch& scratch,
+                                    ReidResult& out) const {
+  out.candidates.clear();
+  out.pivot_type.reset();
 
   // One fused scan finds the pivot AND the next kPruneTypes rarest
   // present types (AttackContext::rarest_present, same (city-count, id)
@@ -15,8 +25,8 @@ ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
   constexpr std::size_t kPruneTypes = 4;
   std::array<poi::TypeId, 1 + kPruneTypes> rarest;
   const std::size_t nrare = ctx_.rarest_present(released, rarest);
-  if (nrare == 0) return result;
-  result.pivot_type = rarest[0];
+  if (nrare == 0) return;
+  out.pivot_type = rarest[0];
   const std::span<const poi::TypeId> rare(rarest.data() + 1, nrare - 1);
 
   // Tile-envelope pruning (AttackContext::exact_prune): dominance requires
@@ -31,16 +41,16 @@ ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
   // per-candidate window as the exact fallback, so the gate sees the same
   // fired sequence as the unbatched loop.
   AttackContext::AdaptiveGate gate(!rare.empty());
-  AttackContext::BatchedEnvelope envelope(ctx_, 2.0 * r, released, rare);
+  AttackContext::BatchedEnvelope envelope(ctx_, 2.0 * r, released, rare,
+                                          scratch.tile_verdict);
 
   // Pack the release's presence bits once; every anchor's fingerprint is
   // cached alongside its vector, so the dominance scan below starts with
   // a word-parallel covers pre-check.
-  std::vector<poi::FingerprintWord> released_fp(
-      poi::fingerprint_words(released.size()));
-  poi::pack_fingerprint(released, released_fp);
+  scratch.released_fp.resize(poi::fingerprint_words(released.size()));
+  poi::pack_fingerprint(released, scratch.released_fp);
 
-  for (const poi::PoiId candidate : ctx_.candidates_of_type(*result.pivot_type)) {
+  for (const poi::PoiId candidate : ctx_.candidates_of_type(*out.pivot_type)) {
     if (gate.enabled()) {
       const bool fired = envelope.pruned(ctx_.db().poi(candidate).pos);
       gate.record(fired);
@@ -48,11 +58,11 @@ ReidResult RegionReidentifier::infer(const poi::FrequencyVector& released,
     }
     // Cached: the same anchors are probed at the same 2r for every
     // evaluated location, and this dominance scan is the attack's hot path.
-    if (ctx_.anchor_dominates(candidate, 2.0 * r, released, released_fp)) {
-      result.candidates.push_back(candidate);
+    if (ctx_.anchor_dominates(candidate, 2.0 * r, released,
+                              scratch.released_fp)) {
+      out.candidates.push_back(candidate);
     }
   }
-  return result;
 }
 
 bool attack_success(const ReidResult& result, const poi::PoiDatabase& db,

@@ -33,12 +33,28 @@ struct ReidResult {
   bool unique() const noexcept { return candidates.size() == 1; }
 };
 
+/// Reusable buffers for infer_into: the released fingerprint words and
+/// the batched envelope's per-tile verdict table. A caller that runs one
+/// inference per release (the streaming linkage tracker) keeps one of
+/// these and pays zero allocations per call in steady state.
+struct ReidScratch {
+  std::vector<poi::FingerprintWord> released_fp;
+  std::vector<std::int8_t> tile_verdict;
+};
+
 class RegionReidentifier {
  public:
   explicit RegionReidentifier(const poi::PoiDatabase& db) : ctx_(db) {}
 
   /// Runs the attack on a released vector for query radius `r` km.
   ReidResult infer(const poi::FrequencyVector& released, double r) const;
+
+  /// infer() into caller-owned result/scratch storage: `out` is cleared
+  /// and refilled with the identical candidate set (bit-for-bit the same
+  /// enumeration, envelope and dominance path), reusing the capacity of
+  /// all four buffers across calls.
+  void infer_into(std::span<const std::int32_t> released, double r,
+                  ReidScratch& scratch, ReidResult& out) const;
 
   /// Citywide-rarest type with a positive entry, if any.
   std::optional<poi::TypeId> pivot_type(

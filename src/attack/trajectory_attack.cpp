@@ -12,12 +12,28 @@ std::vector<double> TrajectoryAttack::make_features(
     std::span<const std::int32_t> f1, std::span<const std::int32_t> f2,
     traj::TimeSec t1, traj::TimeSec t2) const {
   std::vector<double> row;
-  row.reserve(2 + 24 + 7);
-  row.push_back(static_cast<double>(t2 - t1));
-  row.push_back(static_cast<double>(poi::l1_distance(f1, f2)));
-  ml::one_hot(static_cast<std::size_t>(traj::hour_of_day(t1)), 24, row);
-  ml::one_hot(static_cast<std::size_t>(traj::day_of_week(t1)), 7, row);
+  make_features_into(f1, f2, t1, t2, row);
   return row;
+}
+
+void TrajectoryAttack::make_features_into(std::span<const std::int32_t> f1,
+                                          std::span<const std::int32_t> f2,
+                                          traj::TimeSec t1, traj::TimeSec t2,
+                                          std::vector<double>& out) const {
+  out.clear();
+  out.reserve(2 + 24 + 7);
+  out.push_back(static_cast<double>(t2 - t1));
+  out.push_back(static_cast<double>(poi::l1_distance(f1, f2)));
+  ml::one_hot(static_cast<std::size_t>(traj::hour_of_day(t1)), 24, out);
+  ml::one_hot(static_cast<std::size_t>(traj::day_of_week(t1)), 7, out);
+}
+
+double TrajectoryAttack::estimate_distance_km(
+    std::span<const std::int32_t> f1, std::span<const std::int32_t> f2,
+    traj::TimeSec t1, traj::TimeSec t2, std::vector<double>& features) const {
+  make_features_into(f1, f2, t1, t2, features);
+  scaler_.transform_row(features);
+  return std::max(0.0, regressor_.predict(features));
 }
 
 TrajectoryAttack::TrajectoryAttack(const poi::PoiDatabase& db,
@@ -67,9 +83,9 @@ PairInferenceResult TrajectoryAttack::infer(const poi::FrequencyVector& f1,
   result.first = reid_.infer(f1, r_);
   result.second = reid_.infer(f2, r_);
 
-  std::vector<double> features = make_features(f1, f2, t1, t2);
-  scaler_.transform_row(features);
-  result.estimated_distance_km = std::max(0.0, regressor_.predict(features));
+  std::vector<double> features;
+  result.estimated_distance_km =
+      estimate_distance_km(f1, f2, t1, t2, features);
 
   if (result.second.candidates.empty()) {
     // No second-release evidence; the pair filter cannot help.

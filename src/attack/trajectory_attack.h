@@ -57,6 +57,16 @@ class TrajectoryAttack {
                             const poi::FrequencyVector& f2,
                             traj::TimeSec t1, traj::TimeSec t2) const;
 
+  /// The SVR travel-distance estimate for one release pair — exactly the
+  /// estimated_distance_km that infer() reports, without running the two
+  /// baseline attacks. `features` is caller scratch whose capacity is
+  /// reused across calls, so a streaming caller (the linkage engine's
+  /// per-step consistency filter) pays zero allocations in steady state.
+  double estimate_distance_km(std::span<const std::int32_t> f1,
+                              std::span<const std::int32_t> f2,
+                              traj::TimeSec t1, traj::TimeSec t2,
+                              std::vector<double>& features) const;
+
   double validation_mae_km() const noexcept { return validation_mae_; }
   double tolerance_km() const noexcept { return tolerance_; }
 
@@ -65,6 +75,9 @@ class TrajectoryAttack {
                                     std::span<const std::int32_t> f2,
                                     traj::TimeSec t1,
                                     traj::TimeSec t2) const;
+  void make_features_into(std::span<const std::int32_t> f1,
+                          std::span<const std::int32_t> f2, traj::TimeSec t1,
+                          traj::TimeSec t2, std::vector<double>& out) const;
 
   AttackContext ctx_;
   double r_;

@@ -1,0 +1,31 @@
+#include "common/alloc_count.h"
+
+#include <atomic>
+
+namespace poiprivacy::common {
+namespace {
+
+std::atomic<bool> g_active{false};
+// Trivially-destructible TLS: safe to touch from allocation paths that
+// run before main and during static destruction.
+thread_local std::uint64_t t_count = 0;
+
+}  // namespace
+
+bool allocation_counting_active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t thread_allocation_count() noexcept { return t_count; }
+
+namespace detail {
+
+void enable_allocation_counting() noexcept {
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+void count_allocation() noexcept { ++t_count; }
+
+}  // namespace detail
+
+}  // namespace poiprivacy::common

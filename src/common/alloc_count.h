@@ -1,0 +1,36 @@
+// Heap-allocation counting for zero-allocation assertions.
+//
+// The bench binary (and only it) replaces the global operator new/delete
+// family with forwarding hooks (bench/alloc_hook.cpp) that bump a
+// thread-local counter. Library code never pays for this: in binaries
+// without the hook, allocation_counting_active() stays false and
+// thread_allocation_count() stays 0, so callers phrase checks as
+//
+//   const auto before = common::thread_allocation_count();
+//   <supposedly allocation-free region>
+//   const auto delta = common::thread_allocation_count() - before;
+//   // delta == 0 whenever counting is active; trivially 0 otherwise.
+//
+// which passes identically whether or not the hook is linked in — the
+// in-process test harness runs the same scenarios without it.
+#pragma once
+
+#include <cstdint>
+
+namespace poiprivacy::common {
+
+/// True when the executable linked the allocation hook (bench binaries).
+bool allocation_counting_active() noexcept;
+
+/// Number of operator-new calls made by the calling thread since it
+/// started, or 0 forever when counting is inactive.
+std::uint64_t thread_allocation_count() noexcept;
+
+namespace detail {
+/// Called once by the hook's static initializer.
+void enable_allocation_counting() noexcept;
+/// Called by the hook on every allocation.
+void count_allocation() noexcept;
+}  // namespace detail
+
+}  // namespace poiprivacy::common

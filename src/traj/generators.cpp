@@ -23,43 +23,70 @@ geo::Point cluster_biased_point(const poi::City& city, common::Rng& rng) {
 
 }  // namespace
 
+void generate_taxi_points(const poi::City& city, const TaxiConfig& config,
+                          common::Rng& rng, std::span<TrackPoint> out) {
+  const geo::BBox& bounds = city.db.bounds();
+  geo::Point pos = cluster_biased_point(city, rng);
+  geo::Point waypoint = cluster_biased_point(city, rng);
+  TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = {pos, now};
+    const TimeSec gap =
+        rng.uniform_int(config.min_sample_gap, config.max_sample_gap);
+    const double speed_kms =
+        rng.uniform(config.min_speed_kmh, config.max_speed_kmh) / 3600.0;
+    double travel = speed_kms * static_cast<double>(gap);
+    // Advance towards the waypoint, re-targeting when reached.
+    while (travel > 1e-9) {
+      const double remaining = geo::distance(pos, waypoint);
+      if (remaining <= travel) {
+        pos = waypoint;
+        travel -= remaining;
+        waypoint = cluster_biased_point(city, rng);
+      } else {
+        const double f = travel / remaining;
+        pos = {pos.x + (waypoint.x - pos.x) * f,
+               pos.y + (waypoint.y - pos.y) * f};
+        travel = 0.0;
+      }
+    }
+    pos = bounds.clamp({pos.x + rng.normal(0.0, config.path_jitter_km),
+                        pos.y + rng.normal(0.0, config.path_jitter_km)});
+    now += gap;
+  }
+}
+
+void generate_checkin_points(const poi::City& city,
+                             const CheckinConfig& config, common::Rng& rng,
+                             std::span<TrackPoint> out) {
+  const auto& pois = city.db.pois();
+  assert(!pois.empty());
+  const geo::BBox& bounds = city.db.bounds();
+  TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Uniform over POIs == density-biased over space, mimicking the
+    // popularity skew of real check-ins.
+    const auto& venue = pois[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pois.size()) - 1))];
+    const geo::Point pos = bounds.clamp(
+        {venue.pos.x + rng.normal(0.0, config.position_noise_km),
+         venue.pos.y + rng.normal(0.0, config.position_noise_km)});
+    out[i] = {pos, now};
+    now += rng.uniform_int(config.min_gap, config.max_gap);
+  }
+}
+
 std::vector<Trajectory> generate_taxi_trajectories(const poi::City& city,
                                                    const TaxiConfig& config,
                                                    common::Rng& rng) {
-  const geo::BBox& bounds = city.db.bounds();
   std::vector<Trajectory> out;
   out.reserve(config.num_taxis);
   for (std::uint32_t taxi = 0; taxi < config.num_taxis; ++taxi) {
     Trajectory t;
     t.user_id = taxi;
-    geo::Point pos = cluster_biased_point(city, rng);
-    geo::Point waypoint = cluster_biased_point(city, rng);
-    TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
-    for (std::size_t i = 0; i < config.points_per_taxi; ++i) {
-      t.points.push_back({pos, now});
-      const TimeSec gap =
-          rng.uniform_int(config.min_sample_gap, config.max_sample_gap);
-      const double speed_kms =
-          rng.uniform(config.min_speed_kmh, config.max_speed_kmh) / 3600.0;
-      double travel = speed_kms * static_cast<double>(gap);
-      // Advance towards the waypoint, re-targeting when reached.
-      while (travel > 1e-9) {
-        const double remaining = geo::distance(pos, waypoint);
-        if (remaining <= travel) {
-          pos = waypoint;
-          travel -= remaining;
-          waypoint = cluster_biased_point(city, rng);
-        } else {
-          const double f = travel / remaining;
-          pos = {pos.x + (waypoint.x - pos.x) * f,
-                 pos.y + (waypoint.y - pos.y) * f};
-          travel = 0.0;
-        }
-      }
-      pos = bounds.clamp({pos.x + rng.normal(0.0, config.path_jitter_km),
-                          pos.y + rng.normal(0.0, config.path_jitter_km)});
-      now += gap;
-    }
+    // Sized up front: the per-point helper never reallocates mid-walk.
+    t.points.resize(config.points_per_taxi);
+    generate_taxi_points(city, config, rng, t.points);
     out.push_back(std::move(t));
   }
   return out;
@@ -68,29 +95,60 @@ std::vector<Trajectory> generate_taxi_trajectories(const poi::City& city,
 std::vector<Trajectory> generate_checkins(const poi::City& city,
                                           const CheckinConfig& config,
                                           common::Rng& rng) {
-  const auto& pois = city.db.pois();
-  assert(!pois.empty());
-  const geo::BBox& bounds = city.db.bounds();
   std::vector<Trajectory> out;
   out.reserve(config.num_users);
   for (std::uint32_t user = 0; user < config.num_users; ++user) {
     Trajectory t;
     t.user_id = user;
-    TimeSec now = rng.uniform_int(0, kSecondsPerWeek - 1);
-    for (std::size_t i = 0; i < config.checkins_per_user; ++i) {
-      // Uniform over POIs == density-biased over space, mimicking the
-      // popularity skew of real check-ins.
-      const auto& venue = pois[static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(pois.size()) - 1))];
-      const geo::Point pos = bounds.clamp(
-          {venue.pos.x + rng.normal(0.0, config.position_noise_km),
-           venue.pos.y + rng.normal(0.0, config.position_noise_km)});
-      t.points.push_back({pos, now});
-      now += rng.uniform_int(config.min_gap, config.max_gap);
-    }
+    t.points.resize(config.checkins_per_user);
+    generate_checkin_points(city, config, rng, t.points);
     out.push_back(std::move(t));
   }
   return out;
+}
+
+void fill_taxi_store(const poi::City& city, const TaxiConfig& config,
+                     std::uint64_t seed, TrajectoryStore& store) {
+  store.resize(config.num_taxis, config.points_per_taxi);
+  const common::Rng base(seed);
+  for (std::size_t u = 0; u < store.num_users(); ++u) {
+    common::Rng rng = base.substream(u);
+    generate_taxi_points(city, config, rng, store.user_points(u));
+  }
+}
+
+void fill_taxi_store(const poi::City& city, const TaxiConfig& config,
+                     std::uint64_t seed, TrajectoryStore& store,
+                     common::ThreadPool& pool) {
+  store.resize(config.num_taxis, config.points_per_taxi);
+  const common::Rng base(seed);
+  common::parallel_for_each(
+      pool, store.num_users(), 256, [&](std::size_t u) {
+        common::Rng rng = base.substream(u);
+        generate_taxi_points(city, config, rng, store.user_points(u));
+      });
+}
+
+void fill_checkin_store(const poi::City& city, const CheckinConfig& config,
+                        std::uint64_t seed, TrajectoryStore& store) {
+  store.resize(config.num_users, config.checkins_per_user);
+  const common::Rng base(seed);
+  for (std::size_t u = 0; u < store.num_users(); ++u) {
+    common::Rng rng = base.substream(u);
+    generate_checkin_points(city, config, rng, store.user_points(u));
+  }
+}
+
+void fill_checkin_store(const poi::City& city, const CheckinConfig& config,
+                        std::uint64_t seed, TrajectoryStore& store,
+                        common::ThreadPool& pool) {
+  store.resize(config.num_users, config.checkins_per_user);
+  const common::Rng base(seed);
+  common::parallel_for_each(
+      pool, store.num_users(), 256, [&](std::size_t u) {
+        common::Rng rng = base.substream(u);
+        generate_checkin_points(city, config, rng, store.user_points(u));
+      });
 }
 
 std::vector<geo::Point> sample_locations(

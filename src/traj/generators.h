@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "poi/city_model.h"
 #include "traj/trajectory.h"
@@ -51,6 +53,65 @@ struct CheckinConfig {
 std::vector<Trajectory> generate_checkins(const poi::City& city,
                                           const CheckinConfig& config,
                                           common::Rng& rng);
+
+/// One user's taxi trajectory into caller-owned storage (`out.size()`
+/// points; the draw sequence per point is identical to
+/// generate_taxi_trajectories). Allocation-free.
+void generate_taxi_points(const poi::City& city, const TaxiConfig& config,
+                          common::Rng& rng, std::span<TrackPoint> out);
+
+/// One user's check-in sequence into caller-owned storage. Allocation-free.
+void generate_checkin_points(const poi::City& city,
+                             const CheckinConfig& config, common::Rng& rng,
+                             std::span<TrackPoint> out);
+
+/// Structure-of-arrays trajectory storage for population-scale sweeps:
+/// one flat TrackPoint block, fixed points-per-user stride, so 100K+
+/// users cost one allocation instead of one vector per user.
+class TrajectoryStore {
+ public:
+  /// Sizes the store for `users` x `points_per_user` (reuses capacity).
+  void resize(std::size_t users, std::size_t points_per_user) {
+    users_ = users;
+    per_user_ = points_per_user;
+    points_.resize(users * points_per_user);
+  }
+
+  std::size_t num_users() const noexcept { return users_; }
+  std::size_t points_per_user() const noexcept { return per_user_; }
+  std::size_t total_points() const noexcept { return points_.size(); }
+
+  std::span<TrackPoint> user_points(std::size_t u) noexcept {
+    return std::span(points_).subspan(u * per_user_, per_user_);
+  }
+  std::span<const TrackPoint> user_points(std::size_t u) const noexcept {
+    return std::span(points_).subspan(u * per_user_, per_user_);
+  }
+
+ private:
+  std::vector<TrackPoint> points_;
+  std::size_t users_ = 0;
+  std::size_t per_user_ = 0;
+};
+
+/// Fills `store` with config.num_taxis x config.points_per_taxi taxi
+/// points. Each user u draws from common::Rng(seed).substream(u) — a
+/// function of (seed, u) alone — so the serial overload and the parallel
+/// one produce bit-identical stores at every thread count. The serial
+/// overload performs zero heap allocations once the store is sized
+/// (asserted by the linkage_100k scenario's smoke-mode allocation check).
+void fill_taxi_store(const poi::City& city, const TaxiConfig& config,
+                     std::uint64_t seed, TrajectoryStore& store);
+void fill_taxi_store(const poi::City& city, const TaxiConfig& config,
+                     std::uint64_t seed, TrajectoryStore& store,
+                     common::ThreadPool& pool);
+
+/// Check-in analog of fill_taxi_store (num_users x checkins_per_user).
+void fill_checkin_store(const poi::City& city, const CheckinConfig& config,
+                        std::uint64_t seed, TrajectoryStore& store);
+void fill_checkin_store(const poi::City& city, const CheckinConfig& config,
+                        std::uint64_t seed, TrajectoryStore& store,
+                        common::ThreadPool& pool);
 
 /// Flattens trajectories into a plain location sample (used when a figure
 /// needs "locations from dataset X" rather than full trajectories).

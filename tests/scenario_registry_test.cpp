@@ -47,7 +47,7 @@ TEST(ScenarioRegistry, RegistrationIsCompleteAndIdempotent) {
       "ext_chain_attack",        "uniqueness_analysis",
       "micro_core",              "service_throughput",
       "mia_raw",                 "mia_dp_sweep",
-      "mia_priors"};
+      "mia_priors",              "linkage_100k"};
   const auto& all = eval::ScenarioRegistry::instance().all();
   ASSERT_EQ(all.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
