@@ -27,6 +27,7 @@ void register_all_scenarios() {
   register_mia_dp_sweep(registry);
   register_mia_priors(registry);
   register_linkage_100k(registry);
+  register_stream_utility(registry);
 }
 
 int run_scenario_main(std::string_view name, int argc,

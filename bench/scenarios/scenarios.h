@@ -38,6 +38,7 @@ void register_mia_raw(eval::ScenarioRegistry& registry);
 void register_mia_dp_sweep(eval::ScenarioRegistry& registry);
 void register_mia_priors(eval::ScenarioRegistry& registry);
 void register_linkage_100k(eval::ScenarioRegistry& registry);
+void register_stream_utility(eval::ScenarioRegistry& registry);
 
 /// Registers every scenario above into the process-wide registry.
 /// Idempotent: safe to call from several entry points in one process.

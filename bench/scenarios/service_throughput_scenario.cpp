@@ -62,6 +62,11 @@ int run(const eval::BenchOptions& options) {
       static_cast<std::size_t>(options.flags.get("batch", std::int64_t{256}));
   config.cache_capacity =
       static_cast<std::size_t>(options.flags.get("cache", std::int64_t{4096}));
+  const auto renew = static_cast<std::uint64_t>(
+      options.flags.get("renew", std::int64_t{0}));
+  const auto waves = static_cast<std::size_t>(
+      options.flags.get("waves", std::int64_t{1}));
+  config.session_renew_epochs = renew;
   config.seed = seed;
   service::ReleaseService gsp(city.db, cloaker, config);
 
@@ -96,9 +101,32 @@ int run(const eval::BenchOptions& options) {
   std::vector<double> latencies_ms;
   std::size_t served = 0;
   std::size_t transport_errors = 0;
+  struct WaveCounts {
+    std::uint64_t granted = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t budget_exhausted = 0;
+    std::uint64_t invalid = 0;
+    std::uint64_t renewals = 0;
+  };
+  std::vector<WaveCounts> wave_counts;
   if (connections == 0) {
-    const std::vector<service::ReleaseResult> results = gsp.serve(trace);
-    served = results.size();
+    const std::size_t rounds = waves == 0 ? 1 : waves;
+    service::ServiceStats before = gsp.stats();
+    std::uint64_t renewals_before = 0;
+    for (std::size_t wave = 0; wave < rounds; ++wave) {
+      if (wave > 0) gsp.advance_epoch();
+      const std::vector<service::ReleaseResult> results = gsp.serve(trace);
+      served += results.size();
+      const service::ServiceStats after = gsp.stats();
+      const std::uint64_t renewals_after = gsp.session_stats().renewals;
+      wave_counts.push_back({after.granted - before.granted,
+                             after.degraded - before.degraded,
+                             after.budget_exhausted - before.budget_exhausted,
+                             after.invalid - before.invalid,
+                             renewals_after - renewals_before});
+      before = after;
+      renewals_before = renewals_after;
+    }
   } else {
     net::ServerConfig server_config;
     server_config.workers = threads;
@@ -195,6 +223,9 @@ int run(const eval::BenchOptions& options) {
              static_cast<std::uint64_t>(transport_errors));
   json.field("threads", static_cast<std::uint64_t>(threads));
   json.field("batch", static_cast<std::uint64_t>(config.max_batch));
+  json.field("waves", static_cast<std::uint64_t>(
+                          connections == 0 && waves > 0 ? waves : 1));
+  json.field("renew_epochs", renew);
   json.field("seed", seed);
   json.field("seconds", seconds);
   json.field("cpu_seconds", cpu_seconds);
@@ -228,8 +259,23 @@ int run(const eval::BenchOptions& options) {
   json.field("resident", sessions.sessions);
   json.field("created", sessions.sessions_created);
   json.field("evictions_ttl", sessions.evictions_ttl);
+  json.field("renewals", sessions.renewals);
   json.field("full_refusals", sessions.full_refusals);
   json.end_object();
+  if (wave_counts.size() > 1) {
+    json.key("wave_status");
+    json.begin_array();
+    for (const WaveCounts& wave : wave_counts) {
+      json.begin_object();
+      json.field("granted", wave.granted);
+      json.field("degraded", wave.degraded);
+      json.field("budget_exhausted", wave.budget_exhausted);
+      json.field("invalid", wave.invalid);
+      json.field("renewals", wave.renewals);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.field("users_seen", static_cast<std::uint64_t>(gsp.num_users()));
   json.field("batches", stats.batches);
   json.end_object();
@@ -246,7 +292,7 @@ void register_service_throughput(eval::ScenarioRegistry& registry) {
                      "in-process or over the TCP front-end "
                      "(timings, so --all skips it)",
       .extra_flags = {"users", "requests", "batch", "cache", "ceiling",
-                      "connections", "pipeline"},
+                      "connections", "pipeline", "renew", "waves"},
       .smoke_args = {"--users", "50", "--requests", "5", "--seed", "4242"},
       .deterministic = false,
       .run = run,

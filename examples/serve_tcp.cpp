@@ -7,17 +7,33 @@
 //
 //   ./examples/serve_tcp [--port P] [--workers N] [--users N]
 //                        [--ceiling E] [--session-ttl N] [--cache-ttl N]
-//                        [--max-frames N] [--seed N] [--threads N]
-//                        [--metrics[=F]] [--help]
+//                        [--renew-window N] [--stream-users N]
+//                        [--stream-window N] [--max-frames N] [--seed N]
+//                        [--threads N] [--metrics[=F]] [--help]
 //
 // With a session/cache TTL the daemon ticks the service's epoch clock
-// once per second, so idle sessions renew their budget and stale cache
-// entries age out — the bounded-memory serving configuration.
+// once per second, so idle sessions age out and stale cache entries
+// expire — the bounded-memory serving configuration. --renew-window N
+// additionally renews every resident session's budget each N epochs
+// (w-event accounting at the serving layer): a budget_exhausted user is
+// granted again after the next window boundary tick.
+//
+// The daemon also serves continual releases: a mia per-tile
+// sliding-window aggregate stream (--stream-users synthetic traces,
+// --stream-window epochs per window) is attached as the service's
+// StreamSource, so 25-byte stream requests on the same socket get the
+// very streams the membership-inference suite attacks — raw blocks
+// cached under kind-1 keys, Laplace noise drawn per request, the whole
+// block charged to the user's session budget.
 #include <csignal>
 #include <iostream>
+#include <numeric>
 #include <thread>
 
+#include "attack/attack_context.h"
 #include "common/flags.h"
+#include "mia/mobility.h"
+#include "mia/stream_serving.h"
 #include "net/server.h"
 #include "poi/city_model.h"
 #include "service/workload.h"
@@ -36,8 +52,8 @@ int main(int argc, char** argv) {
   const common::Flags flags(
       argc, argv,
       {"port", "workers", "users", "ceiling", "session-ttl", "cache-ttl",
-       "max-frames", "seed", common::Flags::kThreadsFlag,
-       common::Flags::kMetricsFlag});
+       "renew-window", "stream-users", "stream-window", "max-frames", "seed",
+       common::Flags::kThreadsFlag, common::Flags::kMetricsFlag});
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
@@ -66,8 +82,34 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.get("session-ttl", std::int64_t{0}));
   config.cache_ttl_epochs =
       static_cast<std::uint64_t>(flags.get("cache-ttl", std::int64_t{0}));
+  config.session_renew_epochs =
+      static_cast<std::uint64_t>(flags.get("renew-window", std::int64_t{0}));
   config.seed = seed;
   service::ReleaseService gsp(city.db, cloaker, config);
+
+  // The continual-release source: the same per-tile sliding-window
+  // streams the mia suite attacks, released raw — the serving layer
+  // draws the per-request noise and meters the session budget.
+  mia::MobilityConfig mobility;
+  mobility.num_users = static_cast<std::size_t>(
+      flags.get("stream-users", std::int64_t{64}));
+  mobility.epochs = 16;
+  mobility.visits_per_epoch = 3;
+  mobility.profile_tiles = 3;
+  const attack::AttackContext ctx(city.db);
+  const mia::UserTraces traces = mia::generate_traces(ctx, mobility, seed + 2);
+  mia::StreamConfig stream_config;
+  stream_config.window_epochs = static_cast<std::size_t>(
+      flags.get("stream-window", std::int64_t{2}));
+  stream_config.stride = 1;
+  stream_config.epsilon = 0.0;  // raw: noise belongs to the serving layer
+  const mia::AggregateStreamReleaser releaser(traces, stream_config,
+                                              /*roi_tiles=*/64,
+                                              mobility.epochs / 2);
+  std::vector<std::uint32_t> stream_group(mobility.num_users);
+  std::iota(stream_group.begin(), stream_group.end(), 0u);
+  const mia::TileStreamSource stream_source(releaser, std::move(stream_group));
+  gsp.attach_stream_source(&stream_source);
 
   net::ServerConfig server_config;
   server_config.port =
@@ -82,10 +124,13 @@ int main(int argc, char** argv) {
   std::cout << "serve_tcp: listening on 127.0.0.1:" << server.port() << " ("
             << server_config.workers << " workers, "
             << config.policies.size() << " policies, eps ceiling "
-            << config.epsilon_ceiling << ")" << std::endl;
+            << config.epsilon_ceiling << ", stream "
+            << stream_source.num_series() << " series x "
+            << stream_source.epochs() << " epochs)" << std::endl;
 
-  const bool ticking =
-      config.session_ttl_epochs > 0 || config.cache_ttl_epochs > 0;
+  const bool ticking = config.session_ttl_epochs > 0 ||
+                       config.cache_ttl_epochs > 0 ||
+                       config.session_renew_epochs > 0;
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     static int ticks = 0;
@@ -106,6 +151,7 @@ int main(int argc, char** argv) {
             << "sessions: " << sessions.sessions << " resident, "
             << sessions.sessions_created << " created, "
             << sessions.evictions_ttl << " ttl-evicted, "
+            << sessions.renewals << " budget renewals, "
             << sessions.full_refusals << " full-table refusals\n";
   return 0;
 }

@@ -17,6 +17,11 @@
 #                                   25K/50K/100K sweep and the fitted
 #                                   scaling exponent (slope of log t vs
 #                                   log n; subquadratic means <= ~1.3)
+#   BENCH_stream_utility.json       continual-release utility frontier:
+#                                   Top-K Jaccard + mean L1 of the noised
+#                                   aggregate stream vs the raw one, over
+#                                   eps 0.1 -> 10 x window lengths 1/2/4
+#                                   (asserted monotone in epsilon)
 #
 # into the output directory (default: repo root). Commit the files next
 # to the change that produced them so the perf history lives in git.
@@ -80,3 +85,25 @@ print('scaling exponent: %.3f over' % doc['scaling_exponent'],
       ' -> '.join(str(s['users']) for s in doc['scales']), 'users')
 "
 echo "wrote $outdir/BENCH_linkage.json"
+
+echo "== bench.sh: stream_utility (Top-K Jaccard vs epsilon) =="
+./build-release/bench/poibench --scenario stream_utility \
+  --json "$outdir/BENCH_stream_utility.json" --threads 1 >/dev/null
+python3 - "$outdir/BENCH_stream_utility.json" <<'EOF'
+import collections, json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+by_window = collections.defaultdict(list)
+for row in doc["rows"]:
+    by_window[row["window_epochs"]].append(row)
+for window, rows in sorted(by_window.items()):
+    rows.sort(key=lambda r: r["epsilon"])
+    jaccards = [r["top_k_jaccard"] for r in rows]
+    assert jaccards == sorted(jaccards), (
+        "Jaccard not monotone in epsilon for window_epochs=%d: %r"
+        % (window, jaccards))
+    print("window_epochs=%d: jaccard %.3f (eps %.1f) -> %.3f (eps %.1f)"
+          % (window, jaccards[0], rows[0]["epsilon"],
+             jaccards[-1], rows[-1]["epsilon"]))
+EOF
+echo "wrote $outdir/BENCH_stream_utility.json"

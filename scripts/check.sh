@@ -30,7 +30,14 @@
 #      an ordered reduction, so the thread count must never be
 #      observable), its zero-allocation store-fill check must hold, the
 #      Release --json smoke must emit a parseable sweep, and the linkage
-#      property suite re-runs under the ThreadSanitizer build.
+#      property suite re-runs under the ThreadSanitizer build,
+#  10. the ledger gate: the dp::Ledger property suite (legacy-oracle
+#      equivalence + fixed-point tightness + concurrent conservation)
+#      re-runs under the ThreadSanitizer build, the stream_utility smoke
+#      must be byte-identical at --threads 1/2/8, and a loopback
+#      renewal smoke (--renew/--waves) must show budget_exhausted
+#      refusals turning back into grants after an epoch-boundary
+#      renewal.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -38,20 +45,20 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-echo "== [1/9] plain build + tier-1 tests =="
+echo "== [1/10] plain build + tier-1 tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest -L tier1 --output-on-failure -j "$jobs")
 
-echo "== [2/9] ThreadSanitizer build + tsan-labelled tests =="
+echo "== [2/10] ThreadSanitizer build + tsan-labelled tests =="
 cmake -B build-tsan -S . -DPOIPRIVACY_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
 
-echo "== [3/9] metrics determinism at --threads 1/2/8 =="
+echo "== [3/10] metrics determinism at --threads 1/2/8 =="
 ./build/tests/obs_determinism_test
 
-echo "== [4/9] poibench --all --smoke determinism at --threads 1/8 =="
+echo "== [4/10] poibench --all --smoke determinism at --threads 1/8 =="
 cmake --build build -j "$jobs" --target poibench
 smoke_t1="$(mktemp)"
 smoke_t8="$(mktemp)"
@@ -67,7 +74,7 @@ done
 echo "poibench smoke: $(grep -c '^==== ' "$smoke_t1") scenarios identical at --threads 1/8 (mia_* present)"
 rm -f "$smoke_t1" "$smoke_t8"
 
-echo "== [5/9] Release bench smoke =="
+echo "== [5/10] Release bench smoke =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" --target poibench
 smoke_json="$(mktemp)"
@@ -82,7 +89,7 @@ print('bench smoke:', len(doc['results']), 'benchmarks ran')
 "
 rm -f "$smoke_json"
 
-echo "== [6/9] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
+echo "== [6/10] kernel dispatch: scalar-tier suite + cross-tier bench identity =="
 (cd build && POIPRIVACY_KERNEL=scalar ctest -L tier1 --output-on-failure -j "$jobs")
 for threads in 1 2 8; do
   smoke_scalar="$(mktemp)"
@@ -96,7 +103,7 @@ for threads in 1 2 8; do
   echo "poibench smoke: scalar == native tier at --threads $threads"
 done
 
-echo "== [7/9] ASan/UBSan build + kernel property suites per tier =="
+echo "== [7/10] ASan/UBSan build + kernel property suites per tier =="
 cmake -B build-asan -S . -DPOIPRIVACY_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   kernel_property_test fingerprint_property_test tile_window_property_test
@@ -111,7 +118,7 @@ for tier in native scalar; do
   done
 done
 
-echo "== [8/9] serving layer: stress/property/framing under TSan + TCP loopback smoke =="
+echo "== [8/10] serving layer: stress/property/framing under TSan + TCP loopback smoke =="
 for suite in service_stress_test session_shard_property_test net_framing_test; do
   cmake --build build-tsan -j "$jobs" --target "$suite" >/dev/null
   "./build-tsan/tests/$suite" --gtest_brief=1 >/dev/null
@@ -135,7 +142,7 @@ print('loopback smoke:', doc['served'], 'requests served over',
 "
 rm -f "$loopback_json"
 
-echo "== [9/9] linkage engine: smoke identity at --threads 1/2/8 + TSan property suite =="
+echo "== [9/10] linkage engine: smoke identity at --threads 1/2/8 + TSan property suite =="
 linkage_ref="$(mktemp)"
 ./build/bench/poibench --scenario linkage_100k --smoke --seed 4242 \
   --threads 1 2>/dev/null | sed 's/threads=[0-9]*/threads=N/' > "$linkage_ref"
@@ -170,5 +177,43 @@ rm -f "$linkage_json"
 cmake --build build-tsan -j "$jobs" --target linkage_property_test >/dev/null
 ./build-tsan/tests/linkage_property_test --gtest_brief=1 >/dev/null
 echo "tsan: linkage_property_test clean"
+
+echo "== [10/10] ledger: property suite under TSan + stream_utility identity + renewal smoke =="
+cmake --build build-tsan -j "$jobs" --target ledger_property_test >/dev/null
+./build-tsan/tests/ledger_property_test --gtest_brief=1 >/dev/null
+echo "tsan: ledger_property_test clean"
+stream_ref="$(mktemp)"
+./build/bench/poibench --scenario stream_utility --users 40 --epochs 16 \
+  --roi 48 --seed 4242 --threads 1 2>/dev/null \
+  | sed 's/threads=[0-9]*/threads=N/' > "$stream_ref"
+for threads in 2 8; do
+  stream_t="$(mktemp)"
+  ./build/bench/poibench --scenario stream_utility --users 40 --epochs 16 \
+    --roi 48 --seed 4242 --threads "$threads" 2>/dev/null \
+    | sed 's/threads=[0-9]*/threads=N/' > "$stream_t"
+  diff -u "$stream_ref" "$stream_t"
+  rm -f "$stream_t"
+  echo "stream_utility smoke: --threads 1 == --threads $threads"
+done
+rm -f "$stream_ref"
+renewal_json="$(mktemp)"
+./build-release/bench/poibench --scenario service_throughput \
+  --users 30 --requests 8 --ceiling 2.0 --renew 1 --waves 2 \
+  --seed 4242 --threads 1 2>/dev/null > "$renewal_json"
+python3 -c "
+import json
+with open('$renewal_json') as f:
+    doc = json.load(f)
+waves = doc['wave_status']
+assert len(waves) == 2, waves
+assert waves[0]['budget_exhausted'] > 0, waves[0]
+assert waves[1]['renewals'] > 0, waves[1]
+assert waves[1]['granted'] >= waves[0]['granted'], waves
+assert doc['sessions']['renewals'] == sum(w['renewals'] for w in waves), doc
+print('renewal smoke:', waves[0]['budget_exhausted'],
+      'refusals pre-renewal;', waves[1]['renewals'],
+      'sessions renewed;', waves[1]['granted'], 'grants post-renewal')
+"
+rm -f "$renewal_json"
 
 echo "check.sh: all gates passed"

@@ -1,62 +1,16 @@
 #include "defense/session.h"
 
-#include <algorithm>
-
 namespace poiprivacy::defense {
 
-namespace {
-
-dp::PrivacyParams tighter(dp::PrivacyParams a, dp::PrivacyParams b) {
-  return a.epsilon <= b.epsilon ? a : b;
-}
-
-}  // namespace
-
-dp::PrivacyParams ReleaseSession::spent() const {
-  dp::PrivacyAccountant copy = accountant_;
-  const dp::PrivacyParams basic = copy.basic_composition();
-  if (config_.advanced_slack > 0.0 && copy.releases() > 0) {
-    return tighter(basic, copy.advanced_composition(config_.advanced_slack));
-  }
-  return basic;
-}
-
-dp::PrivacyParams ReleaseSession::remaining() const {
-  const dp::PrivacyParams used = spent();
-  return {std::max(0.0, config_.epsilon_ceiling - used.epsilon),
-          std::max(0.0, config_.delta_ceiling - used.delta)};
-}
-
-dp::PrivacyParams ReleaseSession::composed_after(
-    dp::PrivacyParams params) const {
-  dp::PrivacyAccountant hypothetical = accountant_;
-  hypothetical.spend(params);
-  const dp::PrivacyParams basic = hypothetical.basic_composition();
-  if (config_.advanced_slack > 0.0) {
-    return tighter(basic,
-                   hypothetical.advanced_composition(config_.advanced_slack));
-  }
-  return basic;
-}
-
-bool ReleaseSession::would_exceed(dp::PrivacyParams params) const {
-  if (params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0) {
-    return true;  // unadmittable, never chargeable
-  }
-  const dp::PrivacyParams next = composed_after(params);
-  return next.epsilon > config_.epsilon_ceiling ||
-         next.delta > config_.delta_ceiling;
-}
-
 bool ReleaseSession::exhausted() const {
-  return would_exceed({config_.release.epsilon, config_.release.delta});
+  return ledger_.would_exceed({config_.release.epsilon, config_.release.delta});
 }
 
 std::optional<poi::FrequencyVector> ReleaseSession::release(
     geo::Point location, double r, common::Rng& rng) {
   if (exhausted()) return std::nullopt;
   poi::FrequencyVector out = defense_.release(location, r, rng);
-  accountant_.spend({config_.release.epsilon, config_.release.delta});
+  ledger_.record({config_.release.epsilon, config_.release.delta});
   return out;
 }
 

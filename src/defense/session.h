@@ -2,20 +2,22 @@
 //
 // A mobile user keeps querying the LBS over a day; every DP release
 // spends privacy budget, and the guarantees degrade under composition.
-// The session wraps the DP defense with a PrivacyAccountant and a hard
-// budget ceiling: releases are refused once the composed (eps, delta)
-// would exceed it. This operationalizes the paper's per-release guarantee
-// into something a real client could ship.
+// The session is a thin compat shim over dp::Ledger (policy
+// kAdvancedHeterogeneous — tightest-of(basic, advanced) against the
+// ceilings — or kBasic when the slack is disabled) that runs the release
+// mechanism itself: releases are refused once the composed (eps, delta)
+// would exceed the ceiling. This operationalizes the paper's per-release
+// guarantee into something a real client could ship.
 //
-// The admission predicates (would_exceed, remaining) and charge() let an
-// external serving layer reuse the session's composition math while
-// running the release mechanism itself — see service/release_service.h.
+// All accounting lives in the ledger; an external serving layer reuses
+// the same admission predicate via `ledger()` (or runs its own
+// fixed-point ledger — see service/release_service.h).
 #pragma once
 
 #include <optional>
 
 #include "defense/opt_defense.h"
-#include "dp/accountant.h"
+#include "dp/ledger.h"
 
 namespace poiprivacy::defense {
 
@@ -33,39 +35,40 @@ class ReleaseSession {
   ReleaseSession(const poi::PoiDatabase& db,
                  const cloak::AdaptiveIntervalCloaker& cloaker,
                  SessionConfig config)
-      : defense_(db, cloaker, config.release), config_(config) {}
+      : defense_(db, cloaker, config.release),
+        config_(config),
+        ledger_(dp::LedgerConfig{
+            config.advanced_slack > 0.0
+                ? dp::LedgerPolicy::kAdvancedHeterogeneous
+                : dp::LedgerPolicy::kBasic,
+            dp::LedgerBackend::kExact, config.epsilon_ceiling,
+            config.delta_ceiling, config.advanced_slack,
+            dp::WindowPolicy{}}) {}
 
   /// One protected release, or nullopt if it would blow the budget.
   std::optional<poi::FrequencyVector> release(geo::Point location, double r,
                                               common::Rng& rng);
 
   /// The privacy cost already spent (tightest available composition).
-  dp::PrivacyParams spent() const;
+  dp::PrivacyParams spent() const { return ledger_.spent(); }
 
   /// Budget left before either ceiling (componentwise, clamped at zero).
-  dp::PrivacyParams remaining() const;
+  dp::PrivacyParams remaining() const { return ledger_.remaining(); }
 
-  /// Would one more release at `params` push the composed cost past a
-  /// ceiling? Never throws: invalid params (eps <= 0, delta outside
-  /// [0, 1)) cannot be admitted and report true.
-  bool would_exceed(dp::PrivacyParams params) const;
-
-  /// Records a release performed outside this session's own defense
-  /// (e.g. by the serving layer, possibly under a different policy).
-  /// Throws on invalid params; callers gate on would_exceed first.
-  void charge(dp::PrivacyParams params) { accountant_.spend(params); }
-
-  std::size_t releases() const noexcept { return accountant_.releases(); }
+  std::size_t releases() const noexcept { return ledger_.releases(); }
   bool exhausted() const;
+
+  /// The session's accounting engine — admission predicates and
+  /// out-of-band bookkeeping (`would_exceed`, `record`) live there.
+  dp::Ledger& ledger() noexcept { return ledger_; }
+  const dp::Ledger& ledger() const noexcept { return ledger_; }
 
   const SessionConfig& config() const noexcept { return config_; }
 
  private:
-  dp::PrivacyParams composed_after(dp::PrivacyParams params) const;
-
   DpDefense defense_;
   SessionConfig config_;
-  dp::PrivacyAccountant accountant_;
+  dp::Ledger ledger_;
 };
 
 }  // namespace poiprivacy::defense

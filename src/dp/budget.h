@@ -1,12 +1,12 @@
 // Lock-free fixed-point privacy budgets — the admission hot path of the
 // serving layer.
 //
-// PrivacyAccountant composes a user's release history exactly, but its
-// admission predicates cost a map copy (and exp/log for the advanced
-// bound) per request and need external locking for concurrent use. The
-// serving layer's admission decision, however, only needs the running
-// basic composition against a fixed ceiling — a pair of bounded sums.
-// This header makes that pair a single 64-bit word:
+// dp::Ledger's exact backend composes a user's release history exactly,
+// but its admission predicates cost a map copy (and exp/log for the
+// advanced bound) per request and need external locking for concurrent
+// use. The serving layer's admission decision, however, only needs the
+// running basic composition against a fixed ceiling — a pair of bounded
+// sums. This header makes that pair a single 64-bit word:
 //
 //   bits 63..32  charged epsilon, units of 1e-6   (max ~4294 epsilon)
 //   bits 31..0   charged delta,   units of 1e-9   (max ~4.29 delta)
@@ -16,23 +16,34 @@
 // linearizable — under any interleaving of concurrent charges a user's
 // spent budget can never exceed the ceiling, and no mutex is taken.
 //
-// Quantization contract (also the determinism contract with the old
-// double-based path): costs and ceilings are rounded to the NEAREST
-// unit, so every policy epsilon/delta that is exact in 1e-6/1e-9 units
-// (0.25, 0.5, 1.0, 0.05, ...) composes bit-identically to the double
-// sums; a policy epsilon below half a unit still charges one full unit
-// (a charge may never round to free). Sub-nano deltas (the Gaussian
-// 1e-12 floor) do round to zero — the delta ledger's granularity is
-// 1e-9, which undercounts such a policy by < 1e-9 per release.
+// Quantization contract — conservative by construction (the fixed-point
+// tightness half of dp::Ledger's guarantee): costs SNAP-OR-CEIL and
+// ceilings SNAP-OR-FLOOR. A value that is exact in 1e-6/1e-9 units up
+// to floating-point noise (0.25, 0.5, 1.0, 0.05, ... — every shipped
+// policy) snaps to that unit, so those schedules compose bit-identically
+// to the double sums; any other value rounds UP as a cost and DOWN as a
+// ceiling. Hence for every charge schedule
 //
-// Composition semantics: the ledger is BASIC composition. Where the
-// session layer's tightest-of(basic, advanced) bound is tighter (many
-// releases at a small epsilon), the ledger refuses no later than a
-// basic-composition accountant would — admission under the ledger is
-// never looser than the bound it enforces. Advanced composition remains
-// available offline via dp::PrivacyAccountant.
+//   sum of unit costs  >=  ceil(true epsilon sum * scale)   (per comp.)
+//   unit ceiling       <=  floor(true ceiling * scale)
+//
+// so whenever the exact basic accountant refuses (true sum + cost >
+// ceiling), the fixed path refuses too: the fixed-point backend is
+// never LOOSER than the exact one (test-enforced by
+// tests/ledger_property_test). Sub-unit values still never quantize to
+// free — a positive epsilon charges at least one epsilon unit and a
+// positive delta (even the Gaussian 1e-12 floor) at least one delta
+// unit.
+//
+// Composition semantics: the meter is BASIC composition. Where the
+// tightest-of(basic, advanced) bound is tighter (many releases at a
+// small epsilon), the meter refuses no later than a basic-composition
+// accountant would — admission under the meter is never looser than the
+// bound it enforces. Advanced composition remains available offline via
+// dp::Ledger's exact backend.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -52,22 +63,20 @@ struct FixedBudget {
   static constexpr double kDeltaScale = 1e9;
   static constexpr std::uint32_t kMaxUnits = 0xffffffffu;
 
-  /// Nearest-unit quantization; a positive epsilon never rounds to free.
+  /// Snap-or-ceil quantization; a positive component never rounds to
+  /// free (costs may only ever over-charge, see the header contract).
   static FixedBudget cost_of(PrivacyParams params) noexcept {
     FixedBudget cost;
-    cost.epsilon_units = quantize(params.epsilon, kEpsilonScale);
-    if (params.epsilon > 0.0 && cost.epsilon_units == 0) {
-      cost.epsilon_units = 1;
-    }
-    cost.delta_units = quantize(params.delta, kDeltaScale);
+    cost.epsilon_units = quantize_up(params.epsilon, kEpsilonScale);
+    cost.delta_units = quantize_up(params.delta, kDeltaScale);
     return cost;
   }
 
-  /// Ceilings quantize like costs (nearest unit, saturating).
+  /// Snap-or-floor quantization (ceilings may only ever under-allow).
   static FixedBudget ceiling_of(double epsilon_ceiling,
                                 double delta_ceiling) noexcept {
-    return {quantize(epsilon_ceiling, kEpsilonScale),
-            quantize(delta_ceiling, kDeltaScale)};
+    return {quantize_down(epsilon_ceiling, kEpsilonScale),
+            quantize_down(delta_ceiling, kDeltaScale)};
   }
 
   PrivacyParams params() const noexcept {
@@ -78,11 +87,34 @@ struct FixedBudget {
   friend bool operator==(const FixedBudget&, const FixedBudget&) = default;
 
  private:
-  static std::uint32_t quantize(double v, double scale) noexcept {
+  /// Unit-exact values (llround within a relative 1e-9 of v * scale —
+  /// covers the float noise in e.g. 0.1 * 1e6 = 100000.00000000001)
+  /// snap to the nearest unit; anything else rounds conservatively.
+  static bool snaps(double units, long long nearest) noexcept {
+    const double tolerance = 1e-9 * std::max(1.0, units);
+    return std::abs(units - static_cast<double>(nearest)) <= tolerance;
+  }
+
+  static std::uint32_t quantize_up(double v, double scale) noexcept {
     if (!(v > 0.0)) return 0;
     const double units = v * scale;
     if (units >= static_cast<double>(kMaxUnits)) return kMaxUnits;
-    return static_cast<std::uint32_t>(std::llround(units));
+    const long long nearest = std::llround(units);
+    const long long up = snaps(units, nearest)
+                             ? std::max(nearest, 1ll)
+                             : static_cast<long long>(std::ceil(units));
+    return static_cast<std::uint32_t>(std::max(up, 1ll));
+  }
+
+  static std::uint32_t quantize_down(double v, double scale) noexcept {
+    if (!(v > 0.0)) return 0;
+    const double units = v * scale;
+    if (units >= static_cast<double>(kMaxUnits)) return kMaxUnits;
+    const long long nearest = std::llround(units);
+    const long long down = snaps(units, nearest)
+                               ? nearest
+                               : static_cast<long long>(std::floor(units));
+    return static_cast<std::uint32_t>(std::max(down, 0ll));
   }
 };
 
@@ -106,14 +138,6 @@ class AtomicBudgetMeter {
         return true;
       }
     }
-  }
-
-  /// Advisory peek (a concurrent charge can invalidate it immediately;
-  /// the authoritative admission check is try_charge itself).
-  bool would_exceed(FixedBudget cost, FixedBudget ceiling) const noexcept {
-    const FixedBudget next = add(spent(), cost);
-    return next.epsilon_units > ceiling.epsilon_units ||
-           next.delta_units > ceiling.delta_units;
   }
 
   FixedBudget spent() const noexcept {

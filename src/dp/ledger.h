@@ -1,0 +1,235 @@
+// dp::Ledger — the one privacy-accounting engine of the repo.
+//
+// The codebase used to carry three disjoint accounting stacks: a
+// PrivacyAccountant (basic / advanced composition for the eval and
+// defense pipelines), a WindowedAccountant (window-level composition
+// with budget renewal for the continual-release workloads), and the
+// fixed-point AtomicBudgetMeter inside the serving layer's session
+// table. The Ledger unifies them behind one API:
+//
+//   composition POLICY                  charge BACKEND
+//   ------------------------------      --------------------------------
+//   kBasic                  sums        kExact       double sums, the
+//   kAdvancedHeterogeneous  tightest-   (eval/mia)   per-epsilon-group
+//                           of(basic,                map — bit-identical
+//                           Thm 3.20                 to the historical
+//                           per eps                  accountants
+//                           group)      kFixedPoint  one packed 64-bit
+//   kWindowedRenewal        per-window  (serving)    word, single-CAS
+//                           budget that              admission
+//                           renews at                (dp/budget.h)
+//                           window
+//                           boundaries
+//
+// Tightness guarantee (test-enforced by tests/ledger_property_test):
+// the fixed-point backend is never LOOSER than the exact one — costs
+// quantize snap-or-ceil and ceilings snap-or-floor (see dp/budget.h),
+// so any charge schedule the fixed backend admits, the exact basic
+// accountant admits too. Values exact in 1e-6/1e-9 units (every shipped
+// policy) snap, keeping the historical byte-identical goldens.
+//
+// Epoch semantics (kWindowedRenewal): epochs map onto fixed-length
+// accounting windows (window_of = epoch / window_epochs); each window
+// owns a fresh budget — the w-event-style guarantee where the bound
+// holds over any single window, never by overdrawing the current one.
+// Under the exact backend every touched window keeps its own
+// per-epsilon-group history; under the fixed backend the single meter
+// resets when a charge first arrives in a later window (owner-
+// synchronized, like AtomicBudgetMeter::reset — the serving layer's
+// session table performs the same renewal fleet-wide from
+// advance_epoch).
+//
+// Thread safety: the kFixedPoint backend's would_exceed / try_charge /
+// record are lock-free and linearizable per ledger (window transitions
+// excepted, see above). The kExact backend is single-threaded by
+// design — it backs the deterministic eval/mia paths, which already
+// serialize accounting.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "dp/budget.h"
+#include "dp/mechanisms.h"
+
+namespace poiprivacy::dp {
+
+enum class LedgerPolicy : std::uint8_t {
+  kBasic = 0,              ///< sum of epsilons/deltas vs the ceilings
+  kAdvancedHeterogeneous,  ///< tightest-of(basic, Thm 3.20 per eps group)
+  kWindowedRenewal,        ///< per-window budget, renewed at boundaries
+};
+
+enum class LedgerBackend : std::uint8_t {
+  kExact = 0,   ///< double-precision history (eval / mia / defense)
+  kFixedPoint,  ///< packed-word AtomicBudgetMeter (serving layer)
+};
+
+/// Renewal policy of a windowed ledger: how many epochs share one
+/// accounting window, and the per-window epsilon budget that renews at
+/// each window boundary (0 = unbounded, pure bookkeeping).
+struct WindowPolicy {
+  std::size_t window_epochs = 1;
+  double epsilon_budget = 0.0;
+};
+
+struct LedgerConfig {
+  LedgerPolicy policy = LedgerPolicy::kBasic;
+  LedgerBackend backend = LedgerBackend::kExact;
+  /// Lifetime ceilings for kBasic / kAdvancedHeterogeneous; 0 reads as
+  /// unbounded (the historical PrivacyAccountant had no ceiling at all).
+  double epsilon_ceiling = 0.0;
+  double delta_ceiling = 0.0;
+  /// kAdvancedHeterogeneous: slack delta' of the advanced bound; the
+  /// composed guarantee is tightest-of(basic, advanced) and the slack
+  /// adds to the composed delta. <= 0 degrades to plain basic.
+  double advanced_slack = 1e-6;
+  /// kWindowedRenewal geometry + per-window budget.
+  WindowPolicy window;
+};
+
+/// One accounting engine; see the header comment for the policy/backend
+/// matrix. Not copyable (the fixed backend embeds an atomic meter).
+class Ledger {
+ public:
+  /// Throws std::invalid_argument on an ill-formed config: zero
+  /// window_epochs or negative budget under kWindowedRenewal, or
+  /// kAdvancedHeterogeneous over the fixed-point backend (the packed
+  /// word cannot carry a per-epsilon-group history).
+  explicit Ledger(LedgerConfig config = {});
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  const LedgerConfig& config() const noexcept { return config_; }
+
+  // -- admission ------------------------------------------------------------
+
+  /// Would charging `params` against `epoch` pass the policy's bound?
+  /// Never throws: invalid params (eps <= 0, delta outside [0, 1)) can
+  /// never be admitted and report true. Under the fixed backend this is
+  /// an advisory peek (a concurrent charge can invalidate it); the
+  /// authoritative admission check is try_charge. This is THE admission
+  /// predicate — every other layer (sessions, serving, streams)
+  /// delegates here or to try_charge's equivalent internal check.
+  bool would_exceed(PrivacyParams params, std::size_t epoch = 0) const;
+
+  /// Charge-if-admissible: false (charging nothing) when the params are
+  /// invalid or the charge would pass the bound. Linearizable under the
+  /// fixed backend.
+  bool try_charge(PrivacyParams params, std::size_t epoch = 0);
+
+  /// Throwing charge for callers that treat refusal as a logic error:
+  /// std::invalid_argument on invalid params, std::runtime_error when
+  /// the budget would be exceeded. A rejected charge touches nothing —
+  /// windows_touched() counts real releases only.
+  void charge(PrivacyParams params, std::size_t epoch = 0);
+
+  /// Unconditional record: validates params (throws) but never budget-
+  /// checks — the bookkeeping path for releases performed elsewhere
+  /// (e.g. a serving layer that already admitted the request).
+  void record(PrivacyParams params, std::size_t epoch = 0);
+
+  // -- lifetime composition -------------------------------------------------
+
+  std::size_t releases() const noexcept;
+
+  /// The composed cost under the configured policy: basic for kBasic /
+  /// kWindowedRenewal (lifetime), tightest-of(basic, advanced) for
+  /// kAdvancedHeterogeneous. Fixed backend: the quantized basic sums.
+  PrivacyParams spent() const;
+
+  /// Componentwise budget left before the lifetime ceilings, clamped at
+  /// zero; +infinity for an unbounded ceiling.
+  PrivacyParams remaining() const;
+
+  /// Basic composition: exact sums of epsilons and deltas, in charge
+  /// order (fixed backend: the quantized sums).
+  PrivacyParams basic_composition() const noexcept;
+
+  /// Advanced composition with total slack delta_prime: a homogeneous
+  /// history uses Thm 3.20 directly; with G distinct epsilons each
+  /// group composes under slack delta_prime / G and the bounds sum.
+  /// Throws std::invalid_argument on slack outside (0, 1) and under the
+  /// fixed backend (which keeps no per-epsilon history).
+  PrivacyParams advanced_composition(double delta_prime) const;
+
+  /// Distinct per-release epsilons recorded so far (exact backend).
+  std::size_t epsilon_groups() const noexcept;
+
+  // -- windowed composition (kWindowedRenewal; epoch-indexed) ---------------
+
+  /// The accounting window `epoch` belongs to (epoch / window_epochs —
+  /// an epoch exactly on a boundary opens the NEXT window).
+  std::size_t window_of(std::size_t epoch) const noexcept {
+    return epoch / config_.window.window_epochs;
+  }
+
+  /// Windows that have recorded at least one release.
+  std::size_t windows_touched() const noexcept { return windows_.size(); }
+
+  /// Basic composition of one window's releases ({0, 0} if untouched).
+  PrivacyParams window_composition(std::size_t window) const noexcept;
+
+  /// Advanced composition of one window's releases (Thm 3.20 per eps
+  /// group; {0, delta_prime} if untouched).
+  PrivacyParams window_advanced_composition(std::size_t window,
+                                            double delta_prime) const;
+
+  /// The worst per-window basic composition — the epsilon the renewal
+  /// guarantee actually promises per window.
+  PrivacyParams peak_window_composition() const noexcept;
+
+  /// Basic composition across every window (the unbounded-stream cost).
+  PrivacyParams lifetime_composition() const noexcept;
+
+  // -- fixed-point backend introspection ------------------------------------
+
+  FixedBudget fixed_spent() const noexcept { return meter_.spent(); }
+  FixedBudget fixed_ceiling() const noexcept { return fixed_ceiling_; }
+
+ private:
+  /// One charge history: exact sums plus the per-epsilon-group map the
+  /// advanced bound composes over. The lifetime total and every touched
+  /// window each keep one.
+  struct Group {
+    std::size_t releases = 0;
+    double epsilon_sum = 0.0;
+    double delta_sum = 0.0;
+    std::map<double, std::size_t> by_epsilon;  ///< releases per epsilon
+
+    void add(PrivacyParams params);
+    PrivacyParams basic() const noexcept { return {epsilon_sum, delta_sum}; }
+    PrivacyParams advanced(double delta_prime) const;
+  };
+
+  static bool invalid(PrivacyParams params) noexcept {
+    return params.epsilon <= 0.0 || params.delta < 0.0 || params.delta >= 1.0;
+  }
+
+  /// Composed cost of `group` after a hypothetical extra charge, under
+  /// the configured composition policy.
+  PrivacyParams composed_after(const Group& group, PrivacyParams params) const;
+  PrivacyParams composed_of(const Group& group) const;
+  bool exceeds_ceilings(PrivacyParams composed) const noexcept;
+  void commit_exact(PrivacyParams params, std::size_t epoch);
+  /// Fixed backend: renew the meter when `epoch` opened a later window
+  /// (owner-synchronized; see the header comment).
+  void roll_fixed_window(std::size_t epoch);
+
+  LedgerConfig config_;
+  // Exact backend state. total_ is the lifetime history; windows_ holds
+  // one history per touched accounting window (kWindowedRenewal; the
+  // other policies charge everything to window 0).
+  Group total_;
+  std::map<std::size_t, Group> windows_;
+  // Fixed backend state.
+  AtomicBudgetMeter meter_;
+  FixedBudget fixed_ceiling_{};
+  std::atomic<std::size_t> fixed_window_{0};
+  std::atomic<std::size_t> releases_{0};
+};
+
+}  // namespace poiprivacy::dp

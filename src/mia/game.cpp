@@ -51,7 +51,9 @@ TrialOutcome run_trial(const UserTraces& traces,
                       static_cast<std::int64_t>(knowledge.training_pool.size()) -
                           1))];
 
-  dp::WindowedAccountant accountant(config.stream.accounting);
+  dp::Ledger ledger(dp::LedgerConfig{dp::LedgerPolicy::kWindowedRenewal,
+                                     dp::LedgerBackend::kExact, 0.0, 0.0, 0.0,
+                                     config.stream.accounting});
   poi::FreqArena& stream = poi::scratch_arena();
   std::vector<double> features;
 
@@ -65,7 +67,7 @@ TrialOutcome run_trial(const UserTraces& traces,
       const std::vector<std::uint32_t> group = sample_group(
           knowledge.training_pool, target, in_world, config.group_size, rng);
       train_releaser.release(group, 0, config.train_epochs, rng, stream,
-                             knowledge.trains_on_released ? &accountant
+                             knowledge.trains_on_released ? &ledger
                                                           : nullptr);
       extract_features(stream, config.features, features);
       x_train.push_row(features);
@@ -87,14 +89,14 @@ TrialOutcome run_trial(const UserTraces& traces,
       const std::vector<std::uint32_t> group = sample_group(
           population, target, in_world, config.group_size, rng);
       released_releaser.release(group, config.train_epochs, traces.epochs(),
-                                rng, stream, &accountant);
+                                rng, stream, &ledger);
       extract_features(stream, config.features, features);
       outcome.scores.push_back(distinguisher.score(features));
       outcome.labels.push_back(in_world ? +1 : -1);
     }
   }
-  outcome.peak_window = accountant.peak_window_composition();
-  outcome.dp_releases = accountant.releases();
+  outcome.peak_window = ledger.peak_window_composition();
+  outcome.dp_releases = ledger.releases();
   return outcome;
 }
 

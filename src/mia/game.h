@@ -12,8 +12,8 @@
 //   3. train the distinguisher on the extracted features;
 //   4. sample fresh in/out groups from the full population, release
 //      their streams over the inference period [train_epochs, epochs)
-//      (noised when the stream is noised, charged to a
-//      WindowedAccountant), and score them.
+//      (noised when the stream is noised, charged to a windowed
+//      dp::Ledger), and score them.
 //
 // Trials run on the process-wide thread pool with one Rng substream per
 // trial and an ordered reduction of the pooled (score, label) pairs, so
@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "dp/accountant.h"
 #include "mia/distinguisher.h"
 #include "mia/features.h"
 #include "mia/mobility.h"

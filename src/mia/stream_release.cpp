@@ -48,6 +48,10 @@ AggregateStreamReleaser::AggregateStreamReleaser(const UserTraces& traces,
   }
 }
 
+std::size_t AggregateStreamReleaser::epochs() const noexcept {
+  return traces_->epochs();
+}
+
 std::size_t AggregateStreamReleaser::num_windows(std::size_t begin,
                                                  std::size_t end) const
     noexcept {
@@ -63,8 +67,7 @@ double AggregateStreamReleaser::sensitivity() const noexcept {
 void AggregateStreamReleaser::release(std::span<const std::uint32_t> group,
                                       std::size_t begin, std::size_t end,
                                       common::Rng& rng, poi::FreqArena& out,
-                                      dp::WindowedAccountant* accountant)
-    const {
+                                      dp::Ledger* ledger) const {
   if (end > traces_->epochs()) {
     throw std::invalid_argument("stream release: epoch range out of bounds");
   }
@@ -83,8 +86,8 @@ void AggregateStreamReleaser::release(std::span<const std::uint32_t> group,
       }
     }
     if (config_.epsilon > 0.0) {
-      if (accountant != nullptr) {
-        accountant->spend(start, {config_.epsilon, 0.0});
+      if (ledger != nullptr) {
+        ledger->charge({config_.epsilon, 0.0}, start);
       }
       const dp::LaplaceMechanism laplace(config_.epsilon, sensitivity());
       for (std::int32_t& cell : row) {

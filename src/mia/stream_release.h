@@ -1,7 +1,7 @@
 // AggregateStreamReleaser — the GSP-side continual-release workload: a
 // periodic per-tile count aggregate over sliding epoch windows, published
 // either raw or noised through the Laplace mechanism (dp/mechanisms) with
-// every noised window charged to a dp::WindowedAccountant.
+// every noised window charged to a dp::Ledger (kWindowedRenewal).
 //
 // The released vector covers a fixed ROI — the top tiles of the city's
 // TileAggregates grid by population activity during a public warm-up
@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "dp/accountant.h"
+#include "dp/ledger.h"
 #include "mia/mobility.h"
 #include "poi/frequency.h"
 
@@ -34,7 +34,7 @@ struct StreamConfig {
   std::size_t stride = 1;
   /// Per-window privacy budget; 0 releases the raw counts.
   double epsilon = 0.0;
-  /// Accounting policy for the WindowedAccountant the releaser charges
+  /// Accounting policy for the windowed ledger the releaser charges
   /// (epoch-indexed; independent of the release window geometry).
   dp::WindowPolicy accounting{4, 0.0};
 };
@@ -53,6 +53,9 @@ class AggregateStreamReleaser {
   /// Released tile ids (full-grid ids), in released-vector order.
   const std::vector<TileId>& roi() const noexcept { return roi_; }
 
+  /// Epochs covered by the underlying traces.
+  std::size_t epochs() const noexcept;
+
   /// Windows released for the epoch range [begin, end): one per window
   /// start begin, begin+stride, ... with the full window inside the range.
   std::size_t num_windows(std::size_t begin, std::size_t end) const noexcept;
@@ -65,12 +68,12 @@ class AggregateStreamReleaser {
   /// Releases the aggregate stream of `group` (user indices) over epochs
   /// [begin, end) into `out`: row w is window w's per-ROI-tile count,
   /// raw when config.epsilon == 0, otherwise Laplace-noised (rounded,
-  /// clamped at 0) with each window charged to `accountant` (when given)
-  /// at the window's start epoch. `rng` is consumed only by the noise
+  /// clamped at 0) with each window charged to `ledger` (when given) at
+  /// the window's start epoch. `rng` is consumed only by the noise
   /// draws, in fixed window-major order.
   void release(std::span<const std::uint32_t> group, std::size_t begin,
                std::size_t end, common::Rng& rng, poi::FreqArena& out,
-               dp::WindowedAccountant* accountant = nullptr) const;
+               dp::Ledger* ledger = nullptr) const;
 
  private:
   const UserTraces* traces_;

@@ -1,0 +1,41 @@
+#include "mia/stream_serving.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "poi/frequency.h"
+
+namespace poiprivacy::mia {
+
+TileStreamSource::TileStreamSource(const AggregateStreamReleaser& releaser,
+                                   std::vector<std::uint32_t> group)
+    : releaser_(&releaser),
+      epochs_(releaser.epochs()),
+      group_(std::move(group)) {
+  if (releaser.config().epsilon != 0.0) {
+    throw std::invalid_argument(
+        "tile stream source: needs a raw releaser (epsilon == 0); the "
+        "serving layer draws the noise per request");
+  }
+}
+
+std::size_t TileStreamSource::epochs() const { return epochs_; }
+
+void TileStreamSource::release_raw(std::size_t begin, std::size_t end,
+                                   std::vector<double>& out) const {
+  poi::FreqArena& arena = poi::scratch_arena();
+  // The raw path consumes no randomness; the rng is a signature artifact.
+  common::Rng rng(0);
+  releaser_->release(group_, begin, end, rng, arena);
+  const std::size_t windows = arena.rows();
+  const std::size_t series = releaser_->roi().size();
+  out.resize(windows * series);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::span<const std::int32_t> row = arena.row(w);
+    for (std::size_t s = 0; s < series; ++s) {
+      out[w * series + s] = static_cast<double>(row[s]);
+    }
+  }
+}
+
+}  // namespace poiprivacy::mia

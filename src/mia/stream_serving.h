@@ -1,0 +1,49 @@
+// TileStreamSource — adapts the mia aggregate stream releaser to the
+// serving layer's StreamSource seam, so ReleaseService / serve_tcp can
+// serve the very same per-tile sliding-window streams the
+// membership-inference suite attacks.
+//
+// The adapter owns a RAW releaser (config epsilon forced to 0 is the
+// caller's job — the ctor throws otherwise): noise is the serving
+// layer's responsibility, drawn per request from the request's own
+// substream, while the raw window block is a pure function of
+// (group, epoch range) and therefore cacheable under a kind-1
+// ReleaseCacheKey.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mia/stream_release.h"
+#include "service/stream_source.h"
+
+namespace poiprivacy::mia {
+
+class TileStreamSource final : public service::StreamSource {
+ public:
+  /// Serves `releaser`'s stream for the fixed population `group` (user
+  /// indices, copied). Throws std::invalid_argument when the releaser
+  /// is configured to noise its own output (config().epsilon != 0) —
+  /// the serving layer draws the noise.
+  TileStreamSource(const AggregateStreamReleaser& releaser,
+                   std::vector<std::uint32_t> group);
+
+  std::size_t num_series() const override { return releaser_->roi().size(); }
+  std::size_t epochs() const override;
+  std::size_t num_windows(std::size_t begin, std::size_t end) const override {
+    return releaser_->num_windows(begin, end);
+  }
+  double sensitivity() const override { return releaser_->sensitivity(); }
+
+  /// Raw window-major ROI counts via the thread-local scratch arena;
+  /// deterministic and rng-free (the raw path draws no noise).
+  void release_raw(std::size_t begin, std::size_t end,
+                   std::vector<double>& out) const override;
+
+ private:
+  const AggregateStreamReleaser* releaser_;
+  std::size_t epochs_;
+  std::vector<std::uint32_t> group_;
+};
+
+}  // namespace poiprivacy::mia

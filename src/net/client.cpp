@@ -40,6 +40,12 @@ bool Client::send(const service::ReleaseRequest& request) {
   return write_frame(fd_, scratch_);
 }
 
+bool Client::send(const service::StreamRequest& request) {
+  if (fd_ < 0) return false;
+  encode_stream_request(request, scratch_);
+  return write_frame(fd_, scratch_);
+}
+
 std::optional<service::ReleaseResult> Client::recv() {
   if (fd_ < 0) return std::nullopt;
   if (read_frame(fd_, scratch_) != FrameIo::kOk) return std::nullopt;
@@ -48,6 +54,12 @@ std::optional<service::ReleaseResult> Client::recv() {
 
 std::optional<service::ReleaseResult> Client::call(
     const service::ReleaseRequest& request) {
+  if (!send(request)) return std::nullopt;
+  return recv();
+}
+
+std::optional<service::ReleaseResult> Client::call(
+    const service::StreamRequest& request) {
   if (!send(request)) return std::nullopt;
   return recv();
 }

@@ -40,10 +40,13 @@ class Client {
   bool connected() const noexcept { return fd_ >= 0; }
 
   bool send(const service::ReleaseRequest& request);
+  bool send(const service::StreamRequest& request);
   std::optional<service::ReleaseResult> recv();
   /// send() + recv(); nullopt on any transport or decode failure.
   std::optional<service::ReleaseResult> call(
       const service::ReleaseRequest& request);
+  std::optional<service::ReleaseResult> call(
+      const service::StreamRequest& request);
 
   void close();
 

@@ -104,6 +104,32 @@ std::optional<service::ReleaseRequest> decode_request(
   return request;
 }
 
+void encode_stream_request(const service::StreamRequest& request,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kStreamRequestBodyBytes);
+  out.push_back(kStreamRequestKind);
+  put_u64(out, request.user_id);
+  put_u32(out, request.series);
+  put_u32(out, request.begin_epoch);
+  put_u32(out, request.end_epoch);
+  put_u32(out, request.policy);
+}
+
+std::optional<service::StreamRequest> decode_stream_request(
+    std::span<const std::uint8_t> body) {
+  if (body.size() != kStreamRequestBodyBytes) return std::nullopt;
+  const std::uint8_t* p = body.data();
+  if (p[0] != kStreamRequestKind) return std::nullopt;
+  service::StreamRequest request;
+  request.user_id = get_u64(p + 1);
+  request.series = get_u32(p + 9);
+  request.begin_epoch = get_u32(p + 13);
+  request.end_epoch = get_u32(p + 17);
+  request.policy = get_u32(p + 21);
+  return request;
+}
+
 void encode_response(const service::ReleaseResult& result,
                      std::vector<std::uint8_t>& out) {
   out.clear();

@@ -13,9 +13,16 @@
 //
 //   request body (kRequestBodyBytes, fixed):
 //     u64 user_id | f64 x | f64 y | f64 radius | u32 policy
-//   response body (variable):
+//   stream request body (kStreamRequestBodyBytes, fixed):
+//     u8 kind (= 1) | u64 user_id | u32 series | u32 begin_epoch |
+//     u32 end_epoch | u32 policy
+//   response body (variable; shared by both request kinds):
 //     u8 status | u32 served_policy | u8 cache_hit |
 //     f64 spent_epsilon | f64 spent_delta | u32 count | count x i32
+//
+// The two request kinds are disambiguated by body length (36 vs 25
+// bytes — the lengths can never collide), so the classic request needs
+// no version byte and stays byte-identical on the wire.
 //
 // The codec layer (encode_/decode_) is pure — bytes in, structs out — so
 // tests exercise truncation/oversize/round-trip without a socket. The
@@ -37,12 +44,20 @@ namespace poiprivacy::net {
 /// vector (num_types i32s); 1 MiB allows ~260k POI types.
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
 inline constexpr std::size_t kRequestBodyBytes = 8 + 8 + 8 + 8 + 4;
+inline constexpr std::size_t kStreamRequestBodyBytes = 1 + 8 + 4 + 4 + 4 + 4;
+/// The kind byte opening a stream-request body.
+inline constexpr std::uint8_t kStreamRequestKind = 1;
 
 // -- codec (pure; nullopt on malformed bytes) --
 
 void encode_request(const service::ReleaseRequest& request,
                     std::vector<std::uint8_t>& out);
 std::optional<service::ReleaseRequest> decode_request(
+    std::span<const std::uint8_t> body);
+
+void encode_stream_request(const service::StreamRequest& request,
+                           std::vector<std::uint8_t>& out);
+std::optional<service::StreamRequest> decode_stream_request(
     std::span<const std::uint8_t> body);
 
 void encode_response(const service::ReleaseResult& result,

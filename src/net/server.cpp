@@ -175,15 +175,27 @@ void ReleaseServer::serve_connection(int fd) {
         metrics.protocol_errors.add(1);
         return;
     }
-    const std::optional<service::ReleaseRequest> request =
-        decode_request(body);
-    if (!request) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      metrics.protocol_errors.add(1);
-      return;
+    // Request kinds are disambiguated by body length (36 vs 25 bytes).
+    service::ReleaseResult result;
+    if (body.size() == kStreamRequestBodyBytes) {
+      const std::optional<service::StreamRequest> request =
+          decode_stream_request(body);
+      if (!request) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics.protocol_errors.add(1);
+        return;
+      }
+      result = service_->serve_stream(*request);
+    } else {
+      const std::optional<service::ReleaseRequest> request =
+          decode_request(body);
+      if (!request) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics.protocol_errors.add(1);
+        return;
+      }
+      result = service_->serve_concurrent(*request);
     }
-    const service::ReleaseResult result =
-        service_->serve_concurrent(*request);
     encode_response(result, reply);
     if (!write_frame(fd, reply)) return;
     frames_served_.fetch_add(1, std::memory_order_relaxed);

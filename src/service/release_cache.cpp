@@ -30,6 +30,13 @@ std::uint64_t ReleaseCache::hash(const ReleaseCacheKey& key) noexcept {
   h = mix(h, std::bit_cast<std::uint64_t>(key.region.max_y));
   h = mix(h, std::bit_cast<std::uint64_t>(key.radius));
   h = mix(h, key.policy);
+  // Stream fields only for stream keys: a kind-0 key's hash seeds its
+  // canonical dummy draw and must never change.
+  if (key.kind != 0) {
+    h = mix(h, key.kind);
+    h = mix(h, key.stream_begin);
+    h = mix(h, key.stream_end);
+  }
   return h;
 }
 

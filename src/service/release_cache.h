@@ -54,10 +54,21 @@ using PolicyId = std::uint32_t;
 
 /// Identity of a cacheable release computation. The region is the exact
 /// cloak quadrant (halved doubles, so bitwise comparison is stable).
+///
+/// Two kinds share the cache: kind 0 is the classic cloak-region
+/// aggregate (region/radius/policy); kind 1 is a continual-release
+/// stream block (the raw per-tile window counts for [stream_begin,
+/// stream_end), region/radius zeroed). The stream fields fold into
+/// hash() only when kind != 0, so aggregate keys keep their historical
+/// hash — it seeds the canonical dummy draws, and changing it would
+/// change every released vector.
 struct ReleaseCacheKey {
   geo::BBox region;
   double radius = 0.0;
   PolicyId policy = 0;
+  std::uint32_t kind = 0;          ///< 0 = cloak aggregate, 1 = stream block
+  std::uint32_t stream_begin = 0;  ///< window-range epochs (kind 1)
+  std::uint32_t stream_end = 0;
 
   friend bool operator==(const ReleaseCacheKey&,
                          const ReleaseCacheKey&) = default;
@@ -65,7 +76,10 @@ struct ReleaseCacheKey {
 
 /// The cached step-(2) result: per-type sums and sensitivities over the
 /// region's k canonical dummy locations (sensitivity_i = max_d F_d[i],
-/// the Gaussian mechanism's per-dimension calibration).
+/// the Gaussian mechanism's per-dimension calibration). Stream blocks
+/// (key kind 1) reuse the container: `sum` holds the raw window-major
+/// per-series counts, `sensitivity` the single stream sensitivity, and
+/// `k` the series count.
 struct CloakAggregate {
   std::vector<double> sum;
   std::vector<double> sensitivity;

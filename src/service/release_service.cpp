@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "dp/discrete.h"
+#include "dp/mechanisms.h"
 #include "obs/metrics.h"
 
 namespace poiprivacy::service {
@@ -113,6 +114,7 @@ ReleaseService::ReleaseService(const poi::PoiDatabase& db,
       sessions_(SessionTableConfig{config_.session_capacity,
                                    config_.session_shards,
                                    config_.session_ttl_epochs,
+                                   config_.session_renew_epochs,
                                    config_.epsilon_ceiling,
                                    config_.delta_ceiling}),
       noise_base_(common::Rng(config_.seed).substream(0)),
@@ -172,6 +174,7 @@ void ReleaseService::advance_epoch(std::uint64_t ticks) {
   sessions_.advance_epoch(ticks);
   cache_.advance_epoch(ticks);
   sessions_.sweep();
+  sessions_.renew_windows();
   cache_.evict_expired();
 }
 
@@ -451,6 +454,98 @@ std::vector<ReleaseResult> ReleaseService::serve(
 
 ReleaseResult ReleaseService::serve_one(const ReleaseRequest& request) {
   return std::move(serve({&request, 1}).front());
+}
+
+ReleaseResult ReleaseService::serve_stream(const StreamRequest& request) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  ReleaseResult out;
+  // Arrival order assigns the noise substream, exactly like
+  // serve_concurrent: a sequential caller is fully reproducible.
+  const std::uint64_t noise_index =
+      next_request_index_.fetch_add(1, std::memory_order_relaxed);
+  concurrent_.requests.fetch_add(1, std::memory_order_relaxed);
+  metrics.requests.add(1);
+  const StreamSource* source = stream_source_;
+  const std::size_t windows =
+      source == nullptr ? 0
+                        : source->num_windows(request.begin_epoch,
+                                              request.end_epoch);
+  if (source == nullptr || request.policy >= config_.policies.size() ||
+      request.series >= source->num_series() ||
+      request.end_epoch > source->epochs() ||
+      request.begin_epoch >= request.end_epoch || windows == 0) {
+    out.status = ReleaseStatus::kInvalidRequest;
+    out.spent = {0.0, 0.0};
+    concurrent_.invalid.fetch_add(1, std::memory_order_relaxed);
+    metrics.invalid.add(1);
+    return out;
+  }
+  // One admission charge covers the whole block: W windows, each a
+  // policy-cost release. Saturating multiply — an overflowing block can
+  // only be refused, never undercharged. No degrade path: a degraded
+  // stream block would still cost W windows of *some* budget, and the
+  // caller asked for this policy's noise scale.
+  const auto scale = [](std::uint32_t units, std::uint64_t w) {
+    const std::uint64_t total = units * w;
+    return total > std::uint64_t{dp::FixedBudget::kMaxUnits}
+               ? dp::FixedBudget::kMaxUnits
+               : static_cast<std::uint32_t>(total);
+  };
+  dp::FixedBudget cost = policy_costs_[request.policy];
+  cost.epsilon_units = scale(cost.epsilon_units, windows);
+  cost.delta_units = scale(cost.delta_units, windows);
+  const ChargeOutcome charged = sessions_.try_charge(request.user_id, cost);
+  out.spent = sessions_.spent(request.user_id);
+  if (charged != ChargeOutcome::kCharged) {
+    // A full table refuses fail-closed, indistinguishable from an
+    // exhausted budget on the wire.
+    out.status = ReleaseStatus::kBudgetExhausted;
+    concurrent_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+    metrics.budget_exhausted.add(1);
+    return out;
+  }
+  out.status = ReleaseStatus::kGranted;
+  out.served_policy = request.policy;
+  concurrent_.granted.fetch_add(1, std::memory_order_relaxed);
+  metrics.granted.add(1);
+  // The raw block is policy-independent (noise is per-request), so all
+  // policies share one kind-1 cache entry per window range.
+  ReleaseCacheKey key;
+  key.kind = 1;
+  key.stream_begin = request.begin_epoch;
+  key.stream_end = request.end_epoch;
+  std::shared_ptr<const CloakAggregate> block = cache_.get(key);
+  if (block) {
+    out.cache_hit = true;
+    concurrent_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    metrics.cache_hits.add(1);
+  } else {
+    auto computed = std::make_shared<CloakAggregate>();
+    source->release_raw(request.begin_epoch, request.end_epoch,
+                        computed->sum);
+    computed->sensitivity.assign(1, source->sensitivity());
+    computed->k = source->num_series();
+    block = std::move(computed);
+    cache_.put(key, block);
+    concurrent_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    metrics.cache_misses.add(1);
+  }
+  // Per-request noise: one Laplace draw per window for the requested
+  // series, window-ascending (mirrors mia/stream_release: rounded,
+  // clamped at zero).
+  const defense::DpDefenseConfig& policy =
+      config_.policies[request.policy].release;
+  const dp::LaplaceMechanism laplace(policy.epsilon, block->sensitivity[0]);
+  common::Rng rng = noise_base_.substream(noise_index);
+  const std::size_t stride = block->k;
+  out.vector.resize(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const double noised =
+        laplace.perturb(block->sum[w * stride + request.series], rng);
+    out.vector[w] =
+        static_cast<std::int32_t>(std::max(0.0, std::round(noised)));
+  }
+  return out;
 }
 
 ReleaseResult ReleaseService::serve_concurrent(const ReleaseRequest& request) {

@@ -2,13 +2,13 @@
 //
 // The paper's threat model has a geo-information service provider
 // publishing protected POI frequency vectors to a large user population;
-// the library pieces (DpDefense, PrivacyAccountant) are per-call,
-// per-user. This subsystem is the long-lived in-process service that
+// the library pieces (DpDefense, dp::Ledger) are per-call, per-user. This subsystem is the long-lived in-process service that
 // sits on top of them:
 //
 //   * a sharded, fixed-capacity session/budget table (session_table.h):
-//     admission charge/remaining/would_exceed are lock-free on the hot
-//     path (one CAS on a fixed-point budget word per request);
+//     admission charges are lock-free on the hot path (one CAS on a
+//     fixed-point budget word per request — dp::Ledger's fixed-point
+//     backend, fleet-wide);
 //   * admission control: a request whose composed (eps, delta) would
 //     exceed the ceiling is degraded to a cheaper policy (if configured)
 //     or refused with a typed ReleaseStatus — never an exception;
@@ -43,12 +43,22 @@
 // keep separate stats (stats() vs concurrent_stats()); interleaving
 // them forfeits the batch path's replay determinism, nothing else.
 //
-// Eviction: advance_epoch() ticks the session table's and the cache's
-// logical clocks and runs their sweeps. Cache expiry never changes a
-// released vector (see 4); session expiry RENEWS the user's budget — the
-// owner opts in via session_ttl_epochs and drives the clock explicitly,
-// so eviction timing is part of the call sequence, never of thread
-// scheduling.
+// Eviction and renewal: advance_epoch() ticks the session table's and
+// the cache's logical clocks, runs their sweeps, and renews windowed
+// budgets. Cache expiry never changes a released vector (see 4);
+// session expiry RENEWS the user's budget on next contact, and — when
+// session_renew_epochs is set — every resident budget renews when the
+// epoch clock crosses an accounting-window boundary (dp::Ledger's
+// kWindowedRenewal policy, fleet-wide). The owner opts in and drives
+// the clock explicitly, so eviction/renewal timing is part of the call
+// sequence, never of thread scheduling.
+//
+// Continual releases: serve_stream() serves per-tile sliding-window
+// aggregate streams (an attached StreamSource, e.g. the mia releaser)
+// through the same machinery — one fixed-point admission charge of
+// W x the policy cost for a W-window block, the raw block cached under
+// a kind-1 ReleaseCacheKey, per-request Laplace noise from the
+// request's own substream.
 //
 // Privacy note: the served aggregate is computed from the cloaked
 // region's canonical dummies, not from the requester's exact location, so
@@ -69,6 +79,7 @@
 #include "defense/opt_defense.h"
 #include "service/release_cache.h"
 #include "service/session_table.h"
+#include "service/stream_source.h"
 
 namespace poiprivacy::service {
 
@@ -87,6 +98,20 @@ struct ReleaseRequest {
 
   friend bool operator==(const ReleaseRequest&,
                          const ReleaseRequest&) = default;
+};
+
+/// A continual-release request: one series of the attached StreamSource
+/// over the window range [begin_epoch, end_epoch), noised under a
+/// policy. Admission charges num_windows x the policy cost in one CAS.
+struct StreamRequest {
+  UserId user_id = 0;
+  std::uint32_t series = 0;       ///< index into the source's series
+  std::uint32_t begin_epoch = 0;  ///< released range [begin, end)
+  std::uint32_t end_epoch = 0;
+  PolicyId policy = 0;            ///< index into ServiceConfig::policies
+
+  friend bool operator==(const StreamRequest&,
+                         const StreamRequest&) = default;
 };
 
 enum class ReleaseStatus : std::uint8_t {
@@ -131,7 +156,7 @@ struct ServiceConfig {
   double delta_ceiling = 0.5;
   /// Retained for config compatibility: the fixed-point ledger composes
   /// basically, which is never looser than tightest-of(basic, advanced);
-  /// dp::PrivacyAccountant still offers the advanced bound offline.
+  /// dp::Ledger's exact backend still offers the advanced bound offline.
   double advanced_slack = 1e-6;
   /// Session/budget table sizing (hard memory bound; fail-closed).
   std::size_t session_capacity = 1 << 16;
@@ -143,6 +168,10 @@ struct ServiceConfig {
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 16;
   std::uint64_t cache_ttl_epochs = 0;  ///< 0 = entries never expire
+  /// Epochs per budget-accounting window: advance_epoch() renews every
+  /// resident session budget when the clock crosses a window boundary
+  /// (0 = budgets never renew; ceilings bound the session lifetime).
+  std::uint64_t session_renew_epochs = 0;
   /// Bounded queue: enqueue() drains a batch once this many are pending.
   std::size_t max_batch = 256;
   /// Master seed for noise substreams and canonical dummy draws.
@@ -206,6 +235,22 @@ class ReleaseService {
   /// (identical, key-pure) aggregate more than once.
   ReleaseResult serve_concurrent(const ReleaseRequest& request);
 
+  /// Serves one continual-release stream request (thread-safe, counts
+  /// into concurrent_stats()). Requires an attached StreamSource;
+  /// without one every stream request is kInvalidRequest. The released
+  /// vector holds num_windows noised counts for the requested series.
+  ReleaseResult serve_stream(const StreamRequest& request);
+
+  /// Attaches the continual-release source served by serve_stream().
+  /// Not thread-safe against in-flight stream requests — attach before
+  /// serving. The source must outlive the service.
+  void attach_stream_source(const StreamSource* source) noexcept {
+    stream_source_ = source;
+  }
+  const StreamSource* stream_source() const noexcept {
+    return stream_source_;
+  }
+
   std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Ticks the session-table and release-cache epoch clocks and runs
@@ -265,6 +310,7 @@ class ReleaseService {
 
   const poi::PoiDatabase* db_;
   const cloak::AdaptiveIntervalCloaker* cloaker_;
+  const StreamSource* stream_source_ = nullptr;
   ServiceConfig config_;
   std::vector<dp::FixedBudget> policy_costs_;  ///< quantized, by PolicyId
   ReleaseCache cache_;

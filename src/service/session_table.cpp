@@ -41,6 +41,7 @@ SessionTable::SessionTable(SessionTableConfig config)
   }
   obs::Registry& registry = obs::global_registry();
   evictions_counter_ = &registry.counter("session_table.evictions_ttl");
+  renewals_counter_ = &registry.counter("session_table.renewals");
   full_refusals_counter_ = &registry.counter("session_table.full_refusals");
   sessions_gauge_ = &registry.gauge("session_table.sessions");
 }
@@ -118,16 +119,6 @@ ChargeOutcome SessionTable::try_charge(UserId user, dp::FixedBudget cost) {
                                                 : ChargeOutcome::kWouldExceed;
 }
 
-bool SessionTable::would_exceed(UserId user, dp::FixedBudget cost) const {
-  if (user > kMaxUserId) return true;
-  const Shard& shard = shards_[shard_of(user)];
-  if (const Slot* slot = find(shard, user)) {
-    return slot->meter.would_exceed(cost, ceiling_);
-  }
-  return cost.epsilon_units > ceiling_.epsilon_units ||
-         cost.delta_units > ceiling_.delta_units;
-}
-
 dp::PrivacyParams SessionTable::spent(UserId user) const {
   if (user > kMaxUserId) return {0.0, 0.0};
   const Shard& shard = shards_[shard_of(user)];
@@ -187,6 +178,26 @@ std::size_t SessionTable::sweep() {
   return evicted;
 }
 
+std::size_t SessionTable::renew_windows() {
+  if (config_.renew_window_epochs == 0) return 0;
+  const std::uint64_t window =
+      epoch_.load(std::memory_order_relaxed) / config_.renew_window_epochs;
+  if (window <= last_renew_window_) return 0;
+  last_renew_window_ = window;
+  std::size_t renewed = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (Slot& slot : shard.slots) {
+      if (slot.uid.load(std::memory_order_acquire) >= kTombstoneSlot) continue;
+      slot.meter.reset();
+      ++shard.renewals;
+      ++renewed;
+    }
+  }
+  if (renewed > 0) renewals_counter_->add(renewed);
+  return renewed;
+}
+
 SessionTableStats SessionTable::stats() const {
   SessionTableStats out;
   for (const Shard& shard : shards_) {
@@ -195,6 +206,7 @@ SessionTableStats SessionTable::stats() const {
     out.sessions_created += shard.created;
     out.evictions_ttl += shard.evictions_ttl;
     out.full_refusals += shard.full_refusals.load(std::memory_order_relaxed);
+    out.renewals += shard.renewals;
   }
   return out;
 }

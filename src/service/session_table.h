@@ -9,22 +9,29 @@
 //
 //   { atomic user id, dp::AtomicBudgetMeter, atomic last-touch epoch }
 //
-// so the hot path (charge / would_exceed / remaining / spent of an
-// existing session) is entirely lock-free: a linear probe over atomic
+// so the hot path (charge / remaining / spent of an existing
+// session) is entirely lock-free: a linear probe over atomic
 // user ids plus one CAS on the packed fixed-point budget word
 // (dp/budget.h). A shard's mutex is taken only off the hot path — first
 // contact of a new user (once per user per lifetime) and the TTL sweep.
 //
-// Eviction: the table has a logical epoch, advanced by its owner (the
-// service ticks it from batch boundaries; the TCP front-end from its
-// accept loop). Every admission touches the session's last-touch epoch;
-// sweep() reclaims sessions idle for at least `ttl_epochs` — the evicted
-// user's budget RENEWS on next contact, which is exactly the windowed
-// budget-renewal semantic of dp::WindowedAccountant transplanted to the
-// serving layer (ttl_epochs = 0 disables eviction and restores the
-// unbounded per-user guarantee). Reclaimed slots become tombstones so
-// concurrent lock-free probes stay correct; tombstones are recycled by
-// later inserts under the shard mutex.
+// Eviction and renewal: the table has a logical epoch, advanced by its
+// owner (the service ticks it from batch boundaries; the TCP front-end
+// from its accept loop). Every admission touches the session's
+// last-touch epoch; sweep() reclaims sessions idle for at least
+// `ttl_epochs` — the evicted user's budget RENEWS on next contact
+// (ttl_epochs = 0 disables eviction and restores the unbounded per-user
+// guarantee). Reclaimed slots become tombstones so concurrent lock-free
+// probes stay correct; tombstones are recycled by later inserts under
+// the shard mutex. Orthogonally, renew_windows() implements dp::Ledger's
+// kWindowedRenewal policy fleet-wide: epochs group into fixed-length
+// accounting windows (renew_window_epochs each), and when the epoch
+// clock crosses a window boundary every RESIDENT session's meter resets
+// to a fresh budget — the w-event-style guarantee where the ceiling
+// bounds any single window of releases, not the unbounded stream. The
+// owner calls it right after advance_epoch, quiescing first (meter
+// resets are not linearizable with concurrent charges, exactly like
+// TTL sweeps).
 //
 // Capacity is a hard bound (fail-closed): when a shard has no free slot
 // for a first-contact user the admission is refused as "table full"
@@ -67,6 +74,11 @@ struct SessionTableConfig {
   /// Sessions idle for this many epochs are reclaimed by sweep();
   /// 0 disables eviction (sessions live for the table's lifetime).
   std::uint64_t ttl_epochs = 0;
+  /// Epochs per budget-accounting window: renew_windows() resets every
+  /// resident meter when the epoch clock crosses a window boundary
+  /// (dp::Ledger kWindowedRenewal, fleet-wide); 0 disables renewal and
+  /// the ceilings bound the session's lifetime.
+  std::uint64_t renew_window_epochs = 0;
   /// Per-user budget ceilings (quantized via dp::FixedBudget).
   double epsilon_ceiling = 8.0;
   double delta_ceiling = 0.5;
@@ -85,6 +97,7 @@ struct SessionTableStats {
   std::uint64_t sessions_created = 0;  ///< slots ever claimed
   std::uint64_t evictions_ttl = 0;
   std::uint64_t full_refusals = 0;
+  std::uint64_t renewals = 0;  ///< meters reset at window boundaries
 
   friend bool operator==(const SessionTableStats&,
                          const SessionTableStats&) = default;
@@ -104,11 +117,6 @@ class SessionTable {
   /// last-active epoch whatever the outcome.
   ChargeOutcome try_charge(UserId user, dp::FixedBudget cost);
 
-  /// Advisory admission peek; an absent user is checked against a fresh
-  /// budget. Concurrent chargers can invalidate the answer immediately —
-  /// admission decisions must use try_charge.
-  bool would_exceed(UserId user, dp::FixedBudget cost) const;
-
   /// Composed (basic) budget charged so far; {0, 0} when untracked.
   dp::PrivacyParams spent(UserId user) const;
   /// Componentwise budget left before the ceiling; the full ceiling when
@@ -124,6 +132,13 @@ class SessionTable {
   /// Reclaims every session idle for >= ttl_epochs (no-op when TTL is 0),
   /// walking shards and slots in index order. Returns sessions evicted.
   std::size_t sweep();
+
+  /// Windowed budget renewal: when the epoch clock has crossed into a
+  /// new accounting window (epoch / renew_window_epochs), resets every
+  /// resident session's meter to a fresh budget (no-op when
+  /// renew_window_epochs is 0 or the window is unchanged). Owner-driven
+  /// and quiesced, like sweep(). Returns sessions renewed.
+  std::size_t renew_windows();
 
   SessionTableStats stats() const;
   std::size_t size() const;  ///< resident sessions
@@ -154,6 +169,7 @@ class SessionTable {
     std::atomic<std::size_t> resident{0};
     std::uint64_t created = 0;        ///< under mu
     std::uint64_t evictions_ttl = 0;  ///< under mu
+    std::uint64_t renewals = 0;       ///< under mu
     std::atomic<std::uint64_t> full_refusals{0};
   };
 
@@ -166,7 +182,9 @@ class SessionTable {
   std::size_t slot_mask_;  ///< per-shard slot count - 1 (power of two)
   mutable std::vector<Shard> shards_;
   std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t last_renew_window_ = 0;  ///< owner-driven, like sweep()
   obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* renewals_counter_ = nullptr;
   obs::Counter* full_refusals_counter_ = nullptr;
   obs::Gauge* sessions_gauge_ = nullptr;
 };

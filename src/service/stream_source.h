@@ -1,0 +1,47 @@
+// StreamSource — the serving layer's view of a continual-release
+// aggregate stream.
+//
+// The GSP publishes per-tile count aggregates over sliding epoch windows
+// (mia/stream_release builds them from mobility traces); the serving
+// layer wants to serve exactly those streams through ReleaseService —
+// budget-admitted per user, the raw window block cached under a kind-1
+// ReleaseCacheKey, and per-request Laplace noise drawn from the
+// request's own substream. This interface is the seam between the two:
+// it exposes the stream's geometry (series count, epoch range, window
+// schedule, sensitivity) and one pure function producing the RAW
+// window-major counts for an epoch range. Purity is the caching
+// contract — a block is recomputed bit-identically after an eviction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace poiprivacy::service {
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Released series (e.g. ROI tiles), addressed 0..num_series().
+  virtual std::size_t num_series() const = 0;
+
+  /// Epochs covered by the underlying data; window ranges must satisfy
+  /// end <= epochs().
+  virtual std::size_t epochs() const = 0;
+
+  /// Released windows for the epoch range [begin, end) under the
+  /// stream's window/stride geometry (0 when the range is too short).
+  virtual std::size_t num_windows(std::size_t begin,
+                                  std::size_t end) const = 0;
+
+  /// L1 sensitivity of one released window to one user's presence — the
+  /// Laplace scale is sensitivity() / epsilon per window.
+  virtual double sensitivity() const = 0;
+
+  /// The raw (un-noised) counts for [begin, end), window-major:
+  /// out[w * num_series() + s]. Must be a pure function of (begin, end).
+  virtual void release_raw(std::size_t begin, std::size_t end,
+                           std::vector<double>& out) const = 0;
+};
+
+}  // namespace poiprivacy::service

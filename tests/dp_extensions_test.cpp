@@ -4,7 +4,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
-#include "dp/accountant.h"
+#include "dp/ledger.h"
 #include "dp/discrete.h"
 
 namespace poiprivacy::dp {
@@ -112,39 +112,52 @@ TEST(GeometricMechanism, SmallerEpsilonMeansMoreNoise) {
   EXPECT_GT(tight_abs, 4.0 * loose_abs);
 }
 
-TEST(Accountant, BasicCompositionSums) {
-  PrivacyAccountant accountant;
-  accountant.spend({1.0, 0.1});
-  accountant.spend({0.5, 0.05});
-  EXPECT_EQ(accountant.releases(), 2u);
-  const PrivacyParams total = accountant.basic_composition();
+namespace {
+
+// The historical PrivacyAccountant had no ceiling; an unbounded basic
+// exact ledger is its drop-in replacement.
+Ledger basic_ledger() { return Ledger(LedgerConfig{}); }
+
+Ledger windowed_ledger(WindowPolicy window) {
+  return Ledger(LedgerConfig{LedgerPolicy::kWindowedRenewal,
+                             LedgerBackend::kExact, 0.0, 0.0, 0.0, window});
+}
+
+}  // namespace
+
+TEST(Ledger, BasicCompositionSums) {
+  Ledger ledger = basic_ledger();
+  ledger.charge({1.0, 0.1});
+  ledger.charge({0.5, 0.05});
+  EXPECT_EQ(ledger.releases(), 2u);
+  const PrivacyParams total = ledger.basic_composition();
   EXPECT_DOUBLE_EQ(total.epsilon, 1.5);
   EXPECT_DOUBLE_EQ(total.delta, 0.15000000000000002);
 }
 
-TEST(Accountant, RejectsInvalidSpend) {
-  PrivacyAccountant accountant;
-  EXPECT_THROW(accountant.spend({0.0, 0.1}), std::invalid_argument);
-  EXPECT_THROW(accountant.spend({1.0, 1.0}), std::invalid_argument);
+TEST(Ledger, RejectsInvalidCharge) {
+  Ledger ledger = basic_ledger();
+  EXPECT_THROW(ledger.charge({0.0, 0.1}), std::invalid_argument);
+  EXPECT_THROW(ledger.charge({1.0, 1.0}), std::invalid_argument);
 }
 
-TEST(Accountant, AdvancedBeatsBasicForManySmallReleases) {
-  PrivacyAccountant accountant;
+TEST(Ledger, AdvancedBeatsBasicForManySmallReleases) {
+  Ledger ledger = basic_ledger();
   const double eps = 0.1;
-  for (int i = 0; i < 100; ++i) accountant.spend({eps, 0.0});
-  const PrivacyParams basic = accountant.basic_composition();
-  const PrivacyParams advanced = accountant.advanced_composition(1e-5);
+  for (int i = 0; i < 100; ++i) ledger.charge({eps, 0.0});
+  const PrivacyParams basic = ledger.basic_composition();
+  const PrivacyParams advanced = ledger.advanced_composition(1e-5);
   EXPECT_NEAR(basic.epsilon, 10.0, 1e-9);
   EXPECT_LT(advanced.epsilon, basic.epsilon);
 }
 
-TEST(Accountant, AdvancedMatchesClosedForm) {
-  PrivacyAccountant accountant;
+TEST(Ledger, AdvancedMatchesClosedForm) {
+  Ledger ledger = basic_ledger();
   const double eps = 0.2;
   const int k = 50;
-  for (int i = 0; i < k; ++i) accountant.spend({eps, 0.01});
+  for (int i = 0; i < k; ++i) ledger.charge({eps, 0.01});
   const double delta_prime = 1e-6;
-  const PrivacyParams advanced = accountant.advanced_composition(delta_prime);
+  const PrivacyParams advanced = ledger.advanced_composition(delta_prime);
   const double expected =
       eps * std::sqrt(2.0 * k * std::log(1.0 / delta_prime)) +
       k * eps * (std::exp(eps) - 1.0);
@@ -152,11 +165,11 @@ TEST(Accountant, AdvancedMatchesClosedForm) {
   EXPECT_NEAR(advanced.delta, 0.5 + delta_prime, 1e-12);
 }
 
-TEST(Accountant, AdvancedHeterogeneousComposesPerEpsilonGroup) {
-  PrivacyAccountant accountant;
-  for (int i = 0; i < 30; ++i) accountant.spend({0.5, 0.01});
-  for (int i = 0; i < 20; ++i) accountant.spend({0.1, 0.0});
-  EXPECT_EQ(accountant.epsilon_groups(), 2u);
+TEST(Ledger, AdvancedHeterogeneousComposesPerEpsilonGroup) {
+  Ledger ledger = basic_ledger();
+  for (int i = 0; i < 30; ++i) ledger.charge({0.5, 0.01});
+  for (int i = 0; i < 20; ++i) ledger.charge({0.1, 0.0});
+  EXPECT_EQ(ledger.epsilon_groups(), 2u);
   const double delta_prime = 1e-6;
   // Each epsilon group gets Thm 3.20 under half the slack; the group
   // bounds then sum.
@@ -165,27 +178,27 @@ TEST(Accountant, AdvancedHeterogeneousComposesPerEpsilonGroup) {
            k * eps * (std::exp(eps) - 1.0);
   };
   const double slack = delta_prime / 2.0;
-  const PrivacyParams advanced = accountant.advanced_composition(delta_prime);
+  const PrivacyParams advanced = ledger.advanced_composition(delta_prime);
   EXPECT_NEAR(advanced.epsilon,
               group(0.5, 30.0, slack) + group(0.1, 20.0, slack), 1e-12);
   EXPECT_NEAR(advanced.delta, 30 * 0.01 + delta_prime, 1e-12);
 }
 
-TEST(Accountant, AdvancedHeterogeneousStillBeatsBasic) {
-  PrivacyAccountant accountant;
-  for (int i = 0; i < 120; ++i) accountant.spend({0.05, 0.0});
-  for (int i = 0; i < 80; ++i) accountant.spend({0.02, 0.0});
-  const PrivacyParams basic = accountant.basic_composition();
-  const PrivacyParams advanced = accountant.advanced_composition(1e-6);
+TEST(Ledger, AdvancedHeterogeneousStillBeatsBasic) {
+  Ledger ledger = basic_ledger();
+  for (int i = 0; i < 120; ++i) ledger.charge({0.05, 0.0});
+  for (int i = 0; i < 80; ++i) ledger.charge({0.02, 0.0});
+  const PrivacyParams basic = ledger.basic_composition();
+  const PrivacyParams advanced = ledger.advanced_composition(1e-6);
   EXPECT_NEAR(basic.epsilon, 120 * 0.05 + 80 * 0.02, 1e-9);
   EXPECT_LT(advanced.epsilon, basic.epsilon);
 }
 
-TEST(Accountant, SingleEpsilonGroupMatchesHomogeneousFormula) {
+TEST(Ledger, SingleEpsilonGroupMatchesHomogeneousFormula) {
   // A homogeneous history must be unaffected by the grouping machinery:
   // one group gets the whole slack, i.e. plain Thm 3.20.
-  PrivacyAccountant grouped;
-  for (int i = 0; i < 40; ++i) grouped.spend({0.3, 0.001});
+  Ledger grouped = basic_ledger();
+  for (int i = 0; i < 40; ++i) grouped.charge({0.3, 0.001});
   EXPECT_EQ(grouped.epsilon_groups(), 1u);
   const double delta_prime = 1e-5;
   const double expected =
@@ -195,101 +208,120 @@ TEST(Accountant, SingleEpsilonGroupMatchesHomogeneousFormula) {
               1e-12);
 }
 
-TEST(Accountant, AdvancedRejectsBadSlack) {
-  PrivacyAccountant accountant;
-  accountant.spend({1.0, 0.0});
-  EXPECT_THROW(accountant.advanced_composition(0.0), std::invalid_argument);
-  EXPECT_THROW(accountant.advanced_composition(1.0), std::invalid_argument);
+TEST(Ledger, AdvancedRejectsBadSlack) {
+  Ledger ledger = basic_ledger();
+  ledger.charge({1.0, 0.0});
+  EXPECT_THROW(ledger.advanced_composition(0.0), std::invalid_argument);
+  EXPECT_THROW(ledger.advanced_composition(1.0), std::invalid_argument);
 }
 
-TEST(Accountant, EmptyAccountantIsFree) {
-  PrivacyAccountant accountant;
-  EXPECT_DOUBLE_EQ(accountant.basic_composition().epsilon, 0.0);
-  EXPECT_DOUBLE_EQ(accountant.advanced_composition(0.5).epsilon, 0.0);
+TEST(Ledger, EmptyLedgerIsFree) {
+  Ledger ledger = basic_ledger();
+  EXPECT_DOUBLE_EQ(ledger.basic_composition().epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.advanced_composition(0.5).epsilon, 0.0);
 }
 
-TEST(WindowedAccountant, RejectsBadPolicy) {
-  EXPECT_THROW(WindowedAccountant({0, 1.0}), std::invalid_argument);
-  EXPECT_THROW(WindowedAccountant({4, -1.0}), std::invalid_argument);
+TEST(WindowedLedger, RejectsBadPolicy) {
+  EXPECT_THROW(windowed_ledger({0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(windowed_ledger({4, -1.0}), std::invalid_argument);
 }
 
-TEST(WindowedAccountant, EpochsMapOntoFixedWindows) {
-  const WindowedAccountant accountant({4, 0.0});
-  EXPECT_EQ(accountant.window_of(0), 0u);
-  EXPECT_EQ(accountant.window_of(3), 0u);
-  EXPECT_EQ(accountant.window_of(4), 1u);  // boundary epoch opens window 1
-  EXPECT_EQ(accountant.window_of(7), 1u);
-  EXPECT_EQ(accountant.window_of(8), 2u);
+TEST(WindowedLedger, RejectsHeterogeneousOverFixedPoint) {
+  EXPECT_THROW(Ledger(LedgerConfig{LedgerPolicy::kAdvancedHeterogeneous,
+                                   LedgerBackend::kFixedPoint, 1.0, 0.1, 1e-6,
+                                   WindowPolicy{}}),
+               std::invalid_argument);
 }
 
-TEST(WindowedAccountant, ComposesPerWindowAndAcrossLifetime) {
-  WindowedAccountant accountant({2, 0.0});
-  accountant.spend(0, {0.5, 0.0});
-  accountant.spend(1, {0.5, 0.0});
-  accountant.spend(2, {1.0, 0.01});
-  EXPECT_EQ(accountant.releases(), 3u);
-  EXPECT_EQ(accountant.windows_touched(), 2u);
-  EXPECT_DOUBLE_EQ(accountant.window_composition(0).epsilon, 1.0);
-  EXPECT_DOUBLE_EQ(accountant.window_composition(1).epsilon, 1.0);
-  EXPECT_DOUBLE_EQ(accountant.window_composition(1).delta, 0.01);
-  EXPECT_DOUBLE_EQ(accountant.window_composition(7).epsilon, 0.0);
-  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().epsilon, 2.0);
-  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().delta, 0.01);
-  EXPECT_DOUBLE_EQ(accountant.peak_window_composition().epsilon, 1.0);
+TEST(WindowedLedger, EpochsMapOntoFixedWindows) {
+  const Ledger ledger = windowed_ledger({4, 0.0});
+  EXPECT_EQ(ledger.window_of(0), 0u);
+  EXPECT_EQ(ledger.window_of(3), 0u);
+  EXPECT_EQ(ledger.window_of(4), 1u);  // boundary epoch opens window 1
+  EXPECT_EQ(ledger.window_of(7), 1u);
+  EXPECT_EQ(ledger.window_of(8), 2u);
 }
 
-TEST(WindowedAccountant, BudgetRenewsExactlyAtWindowBoundary) {
-  WindowedAccountant accountant({4, 1.0});
-  // Fill window 0's budget exactly: spending to the budget is allowed,
+TEST(WindowedLedger, ComposesPerWindowAndAcrossLifetime) {
+  Ledger ledger = windowed_ledger({2, 0.0});
+  ledger.charge({0.5, 0.0}, 0);
+  ledger.charge({0.5, 0.0}, 1);
+  ledger.charge({1.0, 0.01}, 2);
+  EXPECT_EQ(ledger.releases(), 3u);
+  EXPECT_EQ(ledger.windows_touched(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(0).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(1).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(1).delta, 0.01);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(7).epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.lifetime_composition().epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.lifetime_composition().delta, 0.01);
+  EXPECT_DOUBLE_EQ(ledger.peak_window_composition().epsilon, 1.0);
+}
+
+TEST(WindowedLedger, BudgetRenewsExactlyAtWindowBoundary) {
+  Ledger ledger = windowed_ledger({4, 1.0});
+  // Fill window 0's budget exactly: charging to the budget is allowed,
   // one more infinitesimal release is not.
-  accountant.spend(0, {0.5, 0.0});
-  EXPECT_FALSE(accountant.would_exceed(3, 0.5));
-  accountant.spend(3, {0.5, 0.0});
-  EXPECT_TRUE(accountant.would_exceed(3, 0.001));
-  EXPECT_THROW(accountant.spend(2, {0.001, 0.0}), std::runtime_error);
+  ledger.charge({0.5, 0.0}, 0);
+  EXPECT_FALSE(ledger.would_exceed({0.5, 0.0}, 3));
+  ledger.charge({0.5, 0.0}, 3);
+  EXPECT_TRUE(ledger.would_exceed({0.001, 0.0}, 3));
+  EXPECT_THROW(ledger.charge({0.001, 0.0}, 2), std::runtime_error);
   // Epoch 4 is the first epoch of window 1: full budget again.
-  EXPECT_FALSE(accountant.would_exceed(4, 1.0));
-  accountant.spend(4, {1.0, 0.0});
-  EXPECT_TRUE(accountant.would_exceed(4, 0.001));
-  // The failed spend must not have charged anything anywhere.
-  EXPECT_DOUBLE_EQ(accountant.window_composition(0).epsilon, 1.0);
-  EXPECT_DOUBLE_EQ(accountant.window_composition(1).epsilon, 1.0);
-  EXPECT_EQ(accountant.releases(), 3u);
+  EXPECT_FALSE(ledger.would_exceed({1.0, 0.0}, 4));
+  ledger.charge({1.0, 0.0}, 4);
+  EXPECT_TRUE(ledger.would_exceed({0.001, 0.0}, 4));
+  // The failed charge must not have charged anything anywhere.
+  EXPECT_DOUBLE_EQ(ledger.window_composition(0).epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(1).epsilon, 1.0);
+  EXPECT_EQ(ledger.releases(), 3u);
 }
 
-TEST(WindowedAccountant, UnboundedBudgetNeverExceeds) {
-  WindowedAccountant accountant({1, 0.0});
+TEST(WindowedLedger, TryChargeRefusesInsteadOfThrowing) {
+  Ledger ledger = windowed_ledger({4, 1.0});
+  EXPECT_TRUE(ledger.try_charge({1.0, 0.0}, 0));
+  EXPECT_FALSE(ledger.try_charge({0.001, 0.0}, 0));
+  EXPECT_FALSE(ledger.try_charge({-1.0, 0.0}, 0));
+  EXPECT_EQ(ledger.releases(), 1u);
+  // record() bypasses the budget check (out-of-band bookkeeping)...
+  ledger.record({0.5, 0.0}, 0);
+  EXPECT_EQ(ledger.releases(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.window_composition(0).epsilon, 1.5);
+  // ...but still validates.
+  EXPECT_THROW(ledger.record({0.0, 0.0}, 0), std::invalid_argument);
+}
+
+TEST(WindowedLedger, UnboundedBudgetNeverExceeds) {
+  Ledger ledger = windowed_ledger({1, 0.0});
   for (std::size_t epoch = 0; epoch < 16; ++epoch) {
-    EXPECT_FALSE(accountant.would_exceed(epoch, 100.0));
-    accountant.spend(epoch, {100.0, 0.0});
+    EXPECT_FALSE(ledger.would_exceed({100.0, 0.0}, epoch));
+    ledger.charge({100.0, 0.0}, epoch);
   }
-  EXPECT_EQ(accountant.windows_touched(), 16u);
-  EXPECT_DOUBLE_EQ(accountant.peak_window_composition().epsilon, 100.0);
-  EXPECT_DOUBLE_EQ(accountant.lifetime_composition().epsilon, 1600.0);
+  EXPECT_EQ(ledger.windows_touched(), 16u);
+  EXPECT_DOUBLE_EQ(ledger.peak_window_composition().epsilon, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.lifetime_composition().epsilon, 1600.0);
 }
 
-TEST(WindowedAccountant, WindowAdvancedCompositionUsesEpsilonGroups) {
-  WindowedAccountant accountant({8, 0.0});
-  PrivacyAccountant reference;
+TEST(WindowedLedger, WindowAdvancedCompositionUsesEpsilonGroups) {
+  Ledger ledger = windowed_ledger({8, 0.0});
+  Ledger reference = basic_ledger();
   for (int i = 0; i < 6; ++i) {
-    accountant.spend(0, {0.1, 0.0});
-    reference.spend({0.1, 0.0});
+    ledger.charge({0.1, 0.0}, 0);
+    reference.charge({0.1, 0.0});
   }
-  const PrivacyParams windowed =
-      accountant.window_advanced_composition(0, 1e-6);
+  const PrivacyParams windowed = ledger.window_advanced_composition(0, 1e-6);
   const PrivacyParams expected = reference.advanced_composition(1e-6);
   EXPECT_DOUBLE_EQ(windowed.epsilon, expected.epsilon);
   EXPECT_DOUBLE_EQ(windowed.delta, expected.delta);
   // An untouched window only pays the slack.
-  EXPECT_DOUBLE_EQ(accountant.window_advanced_composition(3, 1e-6).epsilon,
-                   0.0);
+  EXPECT_DOUBLE_EQ(ledger.window_advanced_composition(3, 1e-6).epsilon, 0.0);
 }
 
-TEST(WindowedAccountant, InvalidSpendDoesNotTouchWindow) {
-  WindowedAccountant accountant({2, 0.0});
-  EXPECT_THROW(accountant.spend(0, {0.0, 0.0}), std::invalid_argument);
-  EXPECT_EQ(accountant.releases(), 0u);
-  EXPECT_EQ(accountant.windows_touched(), 0u);
+TEST(WindowedLedger, InvalidChargeDoesNotTouchWindow) {
+  Ledger ledger = windowed_ledger({2, 0.0});
+  EXPECT_THROW(ledger.charge({0.0, 0.0}, 0), std::invalid_argument);
+  EXPECT_EQ(ledger.releases(), 0u);
+  EXPECT_EQ(ledger.windows_touched(), 0u);
 }
 
 }  // namespace

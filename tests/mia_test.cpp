@@ -11,6 +11,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "dp/ledger.h"
 #include "mia/features.h"
 #include "mia/game.h"
 #include "mia/mobility.h"
@@ -200,8 +201,10 @@ TEST(StreamRelease, GoldenNoisedTable) {
   const std::vector<std::uint32_t> group{0, 1, 2};
   common::Rng rng(99);
   poi::FreqArena arena;
-  dp::WindowedAccountant accountant(config.accounting);
-  releaser.release(group, 0, 4, rng, arena, &accountant);
+  dp::Ledger ledger(dp::LedgerConfig{
+      dp::LedgerPolicy::kWindowedRenewal, dp::LedgerBackend::kExact, 0.0, 0.0,
+      0.0, config.accounting});
+  releaser.release(group, 0, 4, rng, arena, &ledger);
   // Laplace(eps=1, sens=4) draws from Rng(99) in window-major order,
   // rounded and clamped at zero.
   const std::vector<std::int32_t> expected = {
@@ -210,9 +213,9 @@ TEST(StreamRelease, GoldenNoisedTable) {
       0, 0, 0, 4};  // window [2, 4)
   EXPECT_EQ(flatten(arena), expected);
   // Window starts 0, 1, 2 -> accounting windows {0, 1} of 2 epochs.
-  EXPECT_EQ(accountant.releases(), 3u);
-  EXPECT_EQ(accountant.windows_touched(), 2u);
-  EXPECT_DOUBLE_EQ(accountant.peak_window_composition().epsilon, 2.0);
+  EXPECT_EQ(ledger.releases(), 3u);
+  EXPECT_EQ(ledger.windows_touched(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.peak_window_composition().epsilon, 2.0);
 }
 
 TEST(StreamRelease, NoisedCountsAreNonNegative) {

@@ -23,6 +23,29 @@
 namespace poiprivacy {
 namespace {
 
+
+/// Deterministic stream stub shared by the loopback stream smoke
+/// (window = 2 epochs, stride 1; counts 10 * begin + series).
+class FakeStreamSource final : public service::StreamSource {
+ public:
+  std::size_t num_series() const override { return 3; }
+  std::size_t epochs() const override { return 8; }
+  std::size_t num_windows(std::size_t begin, std::size_t end) const override {
+    return end - begin >= 2 ? end - begin - 1 : 0;
+  }
+  double sensitivity() const override { return 2.0; }
+  void release_raw(std::size_t begin, std::size_t end,
+                   std::vector<double>& out) const override {
+    const std::size_t windows = num_windows(begin, end);
+    out.resize(windows * num_series());
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t s = 0; s < num_series(); ++s) {
+        out[w * num_series() + s] = static_cast<double>(10 * (begin + w) + s);
+      }
+    }
+  }
+};
+
 std::vector<std::uint8_t> encoded(const service::ReleaseRequest& request) {
   std::vector<std::uint8_t> body;
   net::encode_request(request, body);
@@ -49,6 +72,36 @@ TEST(NetFraming, RequestCodecRejectsWrongSizes) {
     wrong.resize(n, 0);
     EXPECT_FALSE(net::decode_request(wrong).has_value()) << n << " bytes";
   }
+}
+
+TEST(NetFraming, StreamRequestCodecRoundTrips) {
+  const service::StreamRequest request{0x1122334455667788ull, 7, 2, 6, 1};
+  std::vector<std::uint8_t> body;
+  net::encode_stream_request(request, body);
+  EXPECT_EQ(body.size(), net::kStreamRequestBodyBytes);
+  EXPECT_EQ(body[0], net::kStreamRequestKind);
+  // The two request kinds can never collide on the wire.
+  EXPECT_NE(net::kStreamRequestBodyBytes, net::kRequestBodyBytes);
+  const auto decoded = net::decode_stream_request(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, request);
+}
+
+TEST(NetFraming, StreamRequestCodecRejectsWrongSizeAndKind) {
+  std::vector<std::uint8_t> body;
+  net::encode_stream_request({1, 0, 0, 4, 0}, body);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              net::kStreamRequestBodyBytes - 1,
+                              net::kStreamRequestBodyBytes + 1}) {
+    std::vector<std::uint8_t> wrong(body);
+    wrong.resize(n, 0);
+    EXPECT_FALSE(net::decode_stream_request(wrong).has_value()) << n;
+  }
+  std::vector<std::uint8_t> bad_kind(body);
+  bad_kind[0] = 0;  // kind byte must announce a stream request
+  EXPECT_FALSE(net::decode_stream_request(bad_kind).has_value());
+  bad_kind[0] = 2;
+  EXPECT_FALSE(net::decode_stream_request(bad_kind).has_value());
 }
 
 TEST(NetFraming, ResponseCodecRoundTrips) {
@@ -235,6 +288,57 @@ TEST(NetLoopback, TcpReleasesMatchInProcessByteForByte) {
   EXPECT_EQ(wire.granted, batch.granted);
   EXPECT_EQ(wire.degraded, batch.degraded);
   EXPECT_EQ(wire.budget_exhausted, batch.budget_exhausted);
+}
+
+/// Continual-release requests cross the same socket: a mixed classic /
+/// stream conversation against the TCP front-end must match a twin
+/// service driven in-process, byte for byte.
+TEST(NetLoopback, TcpStreamReleasesMatchInProcess) {
+  const poi::City city = poi::generate_city(poi::test_preset(), 7);
+  common::Rng pop_rng(3);
+  const cloak::AdaptiveIntervalCloaker cloaker(
+      cloak::uniform_population(city.db.bounds(), 500, pop_rng),
+      city.db.bounds());
+  service::ServiceConfig config;
+  config.policies.push_back(
+      {"precise", {.k = 8, .epsilon = 1.0, .delta = 0.05}});
+  config.policies.push_back(
+      {"coarse", {.k = 8, .epsilon = 0.25, .delta = 0.01}});
+  config.epsilon_ceiling = 8.0;
+  config.delta_ceiling = 1.0;
+  config.seed = 99;
+  const FakeStreamSource source;
+
+  const std::vector<service::StreamRequest> streams = {
+      {1, 0, 0, 4, 0}, {2, 1, 2, 6, 1}, {1, 2, 0, 8, 1}, {1, 0, 0, 4, 0}};
+  const service::ReleaseRequest classic{3, {4.0, 4.0}, 1.0, 0};
+
+  service::ReleaseService inproc(city.db, cloaker, config);
+  inproc.attach_stream_source(&source);
+  std::vector<service::ReleaseResult> expected;
+  for (const auto& request : streams) {
+    expected.push_back(inproc.serve_stream(request));
+  }
+  expected.push_back(inproc.serve_concurrent(classic));
+
+  service::ReleaseService served(city.db, cloaker, config);
+  served.attach_stream_source(&source);
+  net::ReleaseServer server(served, net::ServerConfig{});
+  server.start();
+  net::Client client = net::Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.connected());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const auto result = client.call(streams[i]);
+    ASSERT_TRUE(result.has_value()) << "stream request " << i;
+    EXPECT_EQ(*result, expected[i]) << "stream request " << i;
+  }
+  const auto mixed = client.call(classic);
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(*mixed, expected.back());
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.stats().frames_served, streams.size() + 1);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
 }
 
 TEST(NetLoopback, MalformedFrameClosesConnectionNotServer) {

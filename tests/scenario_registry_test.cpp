@@ -47,7 +47,8 @@ TEST(ScenarioRegistry, RegistrationIsCompleteAndIdempotent) {
       "ext_chain_attack",        "uniqueness_analysis",
       "micro_core",              "service_throughput",
       "mia_raw",                 "mia_dp_sweep",
-      "mia_priors",              "linkage_100k"};
+      "mia_priors",              "linkage_100k",
+      "stream_utility"};
   const auto& all = eval::ScenarioRegistry::instance().all();
   ASSERT_EQ(all.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {

@@ -56,6 +56,29 @@ service::WorkloadConfig small_workload() {
   return workload;
 }
 
+
+/// Deterministic stream stub (window = 2 epochs, stride 1): series s in
+/// window starting at epoch b counts 10 * b + s.
+class FakeStreamSource final : public service::StreamSource {
+ public:
+  std::size_t num_series() const override { return 3; }
+  std::size_t epochs() const override { return 8; }
+  std::size_t num_windows(std::size_t begin, std::size_t end) const override {
+    return end - begin >= 2 ? end - begin - 1 : 0;
+  }
+  double sensitivity() const override { return 2.0; }
+  void release_raw(std::size_t begin, std::size_t end,
+                   std::vector<double>& out) const override {
+    const std::size_t windows = num_windows(begin, end);
+    out.resize(windows * num_series());
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t s = 0; s < num_series(); ++s) {
+        out[w * num_series() + s] = static_cast<double>(10 * (begin + w) + s);
+      }
+    }
+  }
+};
+
 TEST(ReleaseService, CtorValidatesConfig) {
   const poi::City city = make_city();
   const auto cloaker = make_cloaker(city.db);
@@ -286,6 +309,111 @@ TEST(ReleaseService, SessionTtlRenewsBudget) {
   // the lifetime counter, once in residency.
   EXPECT_EQ(gsp.stats().users, 2u);
   EXPECT_EQ(gsp.session_stats().sessions_created, 2u);
+  EXPECT_EQ(gsp.num_users(), 1u);
+}
+
+
+TEST(ReleaseService, ServeStreamValidatesAdmitsAndCaches) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  service::ReleaseService gsp(city.db, cloaker, two_policy_config());
+  const FakeStreamSource source;
+
+  // No source attached: typed invalid, never a throw.
+  EXPECT_EQ(gsp.serve_stream({1, 0, 0, 4, 0}).status,
+            service::ReleaseStatus::kInvalidRequest);
+  gsp.attach_stream_source(&source);
+  EXPECT_EQ(gsp.stream_source(), &source);
+
+  // Validation: bad policy, series, epoch range, empty window set.
+  EXPECT_EQ(gsp.serve_stream({1, 0, 0, 4, 9}).status,
+            service::ReleaseStatus::kInvalidRequest);
+  EXPECT_EQ(gsp.serve_stream({1, 3, 0, 4, 0}).status,
+            service::ReleaseStatus::kInvalidRequest);
+  EXPECT_EQ(gsp.serve_stream({1, 0, 0, 9, 0}).status,
+            service::ReleaseStatus::kInvalidRequest);
+  EXPECT_EQ(gsp.serve_stream({1, 0, 4, 4, 0}).status,
+            service::ReleaseStatus::kInvalidRequest);
+  EXPECT_EQ(gsp.serve_stream({1, 0, 3, 4, 0}).status,
+            service::ReleaseStatus::kInvalidRequest);  // 1 epoch < window
+
+  // A granted block: one noised i32 per window, one admission charge of
+  // windows * policy cost (3 * {1.0, 0.05} here).
+  const auto granted = gsp.serve_stream({1, 0, 0, 4, 0});
+  ASSERT_EQ(granted.status, service::ReleaseStatus::kGranted);
+  EXPECT_EQ(granted.vector.size(), 3u);
+  EXPECT_FALSE(granted.cache_hit);
+  EXPECT_DOUBLE_EQ(granted.spent.epsilon, 3.0);
+  EXPECT_DOUBLE_EQ(granted.spent.delta, 0.15);
+  for (const std::int32_t count : granted.vector) EXPECT_GE(count, 0);
+
+  // Same range, different user and series: the raw block is shared —
+  // a cache hit even though the noise (and series) differ.
+  const auto shared = gsp.serve_stream({2, 1, 0, 4, 0});
+  ASSERT_EQ(shared.status, service::ReleaseStatus::kGranted);
+  EXPECT_TRUE(shared.cache_hit);
+
+  // There is no degrade path for streams: the next 3-window block for
+  // user 1 would cost 3.0 on top of 3.0 against the 3.5 ceiling.
+  const auto refused = gsp.serve_stream({1, 0, 0, 4, 0});
+  EXPECT_EQ(refused.status, service::ReleaseStatus::kBudgetExhausted);
+  EXPECT_TRUE(refused.vector.empty());
+  EXPECT_DOUBLE_EQ(refused.spent.epsilon, 3.0);  // unchanged
+}
+
+TEST(ReleaseService, ServeStreamIsDeterministicAcrossInstances) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  const FakeStreamSource source;
+  const std::vector<service::StreamRequest> trace = {
+      {1, 0, 0, 4, 0}, {2, 1, 2, 6, 1}, {1, 2, 0, 8, 1}, {3, 0, 2, 6, 1}};
+
+  const auto run = [&] {
+    service::ReleaseService gsp(city.db, cloaker, two_policy_config());
+    gsp.attach_stream_source(&source);
+    std::vector<service::ReleaseResult> out;
+    for (const auto& request : trace) out.push_back(gsp.serve_stream(request));
+    return out;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "request " << i;
+  }
+  EXPECT_EQ(a[0].status, service::ReleaseStatus::kGranted);
+}
+
+TEST(ReleaseService, RenewWindowRestoresBudgetWithoutEviction) {
+  const poi::City city = make_city();
+  const auto cloaker = make_cloaker(city.db);
+  service::ServiceConfig config = two_policy_config();
+  config.session_renew_epochs = 2;  // w-event renewal, no TTL eviction
+  service::ReleaseService gsp(city.db, cloaker, config);
+  const FakeStreamSource source;
+  gsp.attach_stream_source(&source);
+
+  // Exhaust user 7: a 3-window block costs 3.0 of the 3.5 ceiling.
+  ASSERT_EQ(gsp.serve_stream({7, 0, 0, 4, 0}).status,
+            service::ReleaseStatus::kGranted);
+  ASSERT_EQ(gsp.serve_stream({7, 0, 0, 4, 0}).status,
+            service::ReleaseStatus::kBudgetExhausted);
+
+  // Epoch 1 is inside renewal window 0: still exhausted.
+  gsp.advance_epoch();
+  EXPECT_EQ(gsp.serve_stream({7, 0, 0, 4, 0}).status,
+            service::ReleaseStatus::kBudgetExhausted);
+  EXPECT_EQ(gsp.session_stats().renewals, 0u);
+
+  // Epoch 2 opens renewal window 1: every resident budget renews in
+  // place — same session (no eviction, no re-create), fresh budget.
+  gsp.advance_epoch();
+  EXPECT_EQ(gsp.session_stats().renewals, 1u);
+  const auto renewed = gsp.serve_stream({7, 0, 0, 4, 0});
+  EXPECT_EQ(renewed.status, service::ReleaseStatus::kGranted);
+  EXPECT_DOUBLE_EQ(renewed.spent.epsilon, 3.0);
+  EXPECT_EQ(gsp.session_stats().sessions_created, 1u);
+  EXPECT_EQ(gsp.session_stats().evictions_ttl, 0u);
   EXPECT_EQ(gsp.num_users(), 1u);
 }
 

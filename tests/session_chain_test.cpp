@@ -105,11 +105,11 @@ TEST(ReleaseSession, RemainingShrinksWithSpendAndClampsAtZero) {
 
   EXPECT_DOUBLE_EQ(session.remaining().epsilon, 2.5);
   EXPECT_DOUBLE_EQ(session.remaining().delta, 1.0);
-  session.charge({1.0, 0.05});
+  session.ledger().record({1.0, 0.05});
   EXPECT_NEAR(session.remaining().epsilon, 1.5, 1e-12);
   EXPECT_NEAR(session.remaining().delta, 0.95, 1e-12);
-  session.charge({1.0, 0.05});
-  session.charge({1.0, 0.05});
+  session.ledger().record({1.0, 0.05});
+  session.ledger().record({1.0, 0.05});
   // Spent (3.0) exceeds the 2.5 ceiling; remaining clamps at zero.
   EXPECT_DOUBLE_EQ(session.remaining().epsilon, 0.0);
 }
@@ -125,21 +125,21 @@ TEST(ReleaseSession, WouldExceedGatesWithoutThrowing) {
   config.advanced_slack = 0.0;
   defense::ReleaseSession session(city.db, cloaker, config);
 
-  EXPECT_FALSE(session.would_exceed({1.0, 0.0}));
-  EXPECT_TRUE(session.would_exceed({2.5, 0.0}));
+  EXPECT_FALSE(session.ledger().would_exceed({1.0, 0.0}));
+  EXPECT_TRUE(session.ledger().would_exceed({2.5, 0.0}));
   // A cheaper policy can still fit after the nominal one no longer does.
-  session.charge({1.0, 0.0});
-  session.charge({0.5, 0.0});
-  EXPECT_TRUE(session.would_exceed({1.0, 0.0}));
-  EXPECT_FALSE(session.would_exceed({0.5, 0.0}));
+  session.ledger().record({1.0, 0.0});
+  session.ledger().record({0.5, 0.0});
+  EXPECT_TRUE(session.ledger().would_exceed({1.0, 0.0}));
+  EXPECT_FALSE(session.ledger().would_exceed({0.5, 0.0}));
   // Spent 1.5 + nominal 1.0 = 2.5 > 2.0, so the session counts as
   // exhausted even though a 0.5-policy request is still admissible.
   EXPECT_TRUE(session.exhausted());
 
   // Invalid parameters are never admissible but must not throw.
-  EXPECT_TRUE(session.would_exceed({0.0, 0.0}));
-  EXPECT_TRUE(session.would_exceed({-1.0, 0.0}));
-  EXPECT_TRUE(session.would_exceed({0.5, 1.0}));
+  EXPECT_TRUE(session.ledger().would_exceed({0.0, 0.0}));
+  EXPECT_TRUE(session.ledger().would_exceed({-1.0, 0.0}));
+  EXPECT_TRUE(session.ledger().would_exceed({0.5, 1.0}));
 }
 
 TEST(ReleaseSession, ReleasesAreValidVectors) {
